@@ -1,0 +1,60 @@
+"""Figure 9: number of modules and accuracy as R_min varies.
+
+Sweeps the minimal reserved memory from a small fraction of R_max to
+above it.  Expected shape (paper): the module count decreases to 1
+(degenerating to jFAT) as R_min grows, while clean/adversarial accuracy
+stay roughly flat — the inconsistency-reduction designs make FedProphet
+insensitive to the partition depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import bench_scale, make_experiment
+from repro.utils import format_table
+
+FRACTIONS = [0.35, 0.6, 1.2]
+
+
+def compute_rmin_sweep():
+    out = []
+    for frac in FRACTIONS:
+        exp = make_experiment(
+            "fedprophet",
+            "cifar10",
+            "balanced",
+            prophet_overrides={"r_min_fraction": frac},
+        )
+        exp.run()
+        res = exp.final_eval(max_samples=bench_scale().eval_samples)
+        out.append(
+            dict(
+                frac=frac,
+                modules=exp.partition.num_modules,
+                clean=res.clean_acc,
+                adv=res.pgd_acc,
+            )
+        )
+    return out
+
+
+def test_fig9_rmin(benchmark):
+    rows = benchmark.pedantic(compute_rmin_sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["R_min / R_max", "#modules", "clean acc", "adv acc"],
+            [
+                (r["frac"], r["modules"], f"{r['clean']:.2%}", f"{r['adv']:.2%}")
+                for r in rows
+            ],
+            title="Figure 9 — partition depth vs accuracy (CIFAR-like)",
+        )
+    )
+    counts = [r["modules"] for r in rows]
+    # Paper shape: fewer modules as the memory budget grows, ending at 1.
+    assert counts == sorted(counts, reverse=True)
+    assert counts[-1] == 1
+    assert counts[0] > 1

@@ -1,0 +1,89 @@
+"""Table 1: FAT with small vs. large vs. Large-PT models.
+
+The motivation table: adversarial training needs model capacity — the
+large backbone beats the small CNN on both clean and adversarial accuracy,
+while training the large model via partial-training FL at a small-model
+memory budget ("Large-PT", FedRolex) is no better than the small model.
+
+Scaled workload: CNN2 as the small model (≈1× memory), the VGG backbone as
+the large model (≈5× memory), FedRolex-AT at a fixed small-memory ratio as
+Large-PT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    CIFAR_SHAPE,
+    bench_scale,
+    cifar_builder,
+    cifar_task,
+    fl_config,
+)
+from repro.baselines import FedRolexAT, JointFAT
+from repro.hardware import mem_req_bytes
+from repro.models import build_cnn
+from repro.utils import format_table
+
+
+def small_builder(rng):
+    return build_cnn(2, 10, CIFAR_SHAPE, base_channels=8, rng=rng)
+
+
+class _FixedRatioRolex(FedRolexAT):
+    """FedRolex with every client pinned at the small-model memory ratio."""
+
+    def __init__(self, *args, ratio: float, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._ratio = ratio
+
+    def client_ratio(self, state):
+        return self._ratio
+
+
+def compute_table1():
+    task = cifar_task()
+    cfg = fl_config()
+    results = {}
+
+    small = JointFAT(task, small_builder, cfg)
+    small.run()
+    results["Small (1x)"] = (small, small.final_eval(max_samples=bench_scale().eval_samples))
+
+    large = JointFAT(task, cifar_builder, cfg)
+    large.run()
+    results["Large (5x)"] = (large, large.final_eval(max_samples=bench_scale().eval_samples))
+
+    small_mem = mem_req_bytes(small_builder(np.random.default_rng(0)), CIFAR_SHAPE, cfg.batch_size)
+    large_mem = mem_req_bytes(cifar_builder(np.random.default_rng(0)), CIFAR_SHAPE, cfg.batch_size)
+    ratio = float(np.clip(small_mem / large_mem, 0.125, 1.0))
+    pt = _FixedRatioRolex(task, cifar_builder, cfg, ratio=ratio)
+    pt.run()
+    results["Large-PT (1x)"] = (pt, pt.final_eval(max_samples=bench_scale().eval_samples))
+    return results, large_mem / small_mem
+
+
+def test_table1_model_size(benchmark):
+    results, mem_ratio = benchmark.pedantic(compute_table1, rounds=1, iterations=1)
+    rows = [
+        (name, f"{r.clean_acc:.2%}", f"{r.pgd_acc:.2%}")
+        for name, (_, r) in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["model (mem)", "clean acc", "adv acc"],
+            rows,
+            title=f"Table 1 — FAT vs model size (large/small memory ratio ≈ {mem_ratio:.1f}x)",
+        )
+    )
+    small = results["Small (1x)"][1]
+    large = results["Large (5x)"][1]
+    pt = results["Large-PT (1x)"][1]
+    # Paper shape: the large model dominates the small one...
+    assert large.clean_acc >= small.clean_acc - 0.05
+    assert large.pgd_acc >= small.pgd_acc - 0.02
+    # ...and partial-training at small-memory budget gives up the advantage.
+    assert pt.pgd_acc <= large.pgd_acc + 0.05

@@ -1,0 +1,83 @@
+"""Table 2: the headline comparison — clean / PGD / AutoAttack accuracy of
+all eight methods on both workloads under balanced and unbalanced
+systematic heterogeneity.
+
+Expected shape (paper):
+
+* FedProphet attains the best adversarial accuracy among the
+  memory-efficient methods, close to (or better than) jFAT;
+* FedRBN reaches high clean accuracy but weak robustness;
+* knowledge-distillation methods (FedDF/FedET) are weakest overall;
+* partial-training methods sit in between.
+
+Runs are shared with the Figure 7 bench via the common run cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import METHODS, run_method
+from repro.utils import format_table
+
+SETTINGS = [
+    ("cifar10", "balanced"),
+    ("cifar10", "unbalanced"),
+    ("caltech256", "balanced"),
+    ("caltech256", "unbalanced"),
+]
+
+
+def compute_table2():
+    results = {}
+    for workload, het in SETTINGS:
+        for method in METHODS:
+            _, res = run_method(method, workload, het)
+            results[(workload, het, method)] = res
+    return results
+
+
+def test_table2_main(benchmark):
+    results = benchmark.pedantic(compute_table2, rounds=1, iterations=1)
+    for workload, het in SETTINGS:
+        rows = []
+        for method in METHODS:
+            r = results[(workload, het, method)]
+            rows.append(
+                (
+                    method,
+                    f"{r.clean_acc:.2%}",
+                    f"{r.pgd_acc:.2%}",
+                    f"{r.aa_acc:.2%}" if r.aa_acc is not None else "-",
+                )
+            )
+        print()
+        print(
+            format_table(
+                ["method", "clean acc", "PGD acc", "AA acc"],
+                rows,
+                title=f"Table 2 — {workload}, {het}",
+            )
+        )
+
+    # Shape assertions, aggregated across settings for stability at this
+    # reduced scale (per-setting numbers are printed above).
+    def mean(metric, method):
+        return float(
+            np.mean(
+                [getattr(results[(w, h, method)], metric) for w, h in SETTINGS]
+            )
+        )
+
+    memory_efficient = [m for m in METHODS if m not in ("jfat", "fedprophet")]
+    prophet_adv = mean("pgd_acc", "fedprophet")
+    # FedProphet beats every other memory-efficient method on robustness.
+    for m in memory_efficient:
+        assert prophet_adv >= mean("pgd_acc", m) - 0.02, (
+            f"fedprophet adv {prophet_adv:.3f} vs {m} {mean('pgd_acc', m):.3f}"
+        )
+    # AutoAttack is never easier than PGD.
+    for key, r in results.items():
+        if r.aa_acc is not None and r.pgd_acc is not None:
+            assert r.aa_acc <= r.pgd_acc + 0.02

@@ -1,0 +1,58 @@
+"""Table 4: training time with and without Differentiated Module Assignment.
+
+DMA lets resource-rich clients train extra modules, but the FLOPs
+constraint (Eq. 15) caps their local time at the slowest client's
+single-module time — so the synchronous round length, and hence the total
+training time, must not grow.  Expected shape (paper): w/ DMA ≈ w/o DMA
+(sometimes slightly faster through better-converged modules).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import make_experiment
+from repro.utils import format_table
+
+SETTINGS = [
+    ("cifar10", "balanced"),
+    ("cifar10", "unbalanced"),
+]
+
+
+def compute_dma_timing():
+    out = {}
+    for workload, het in SETTINGS:
+        for dma in (True, False):
+            exp = make_experiment(
+                "fedprophet", workload, het, prophet_overrides={"use_dma": dma}
+            )
+            exp.run()
+            out[(workload, het, dma)] = exp.clock_s
+    return out
+
+
+def test_table4_dma_time(benchmark):
+    clocks = benchmark.pedantic(compute_dma_timing, rounds=1, iterations=1)
+    rows = []
+    for workload, het in SETTINGS:
+        rows.append(
+            (
+                f"{workload}/{het}",
+                f"{clocks[(workload, het, True)]:.3g}s",
+                f"{clocks[(workload, het, False)]:.3g}s",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["setting", "w/ DMA", "w/o DMA"],
+            rows,
+            title="Table 4 — training time with/without DMA",
+        )
+    )
+    for workload, het in SETTINGS:
+        with_dma = clocks[(workload, het, True)]
+        without = clocks[(workload, het, False)]
+        # The FLOPs constraint keeps DMA from inflating the round time.
+        assert with_dma <= 1.2 * without

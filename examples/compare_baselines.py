@@ -1,0 +1,85 @@
+"""Compare FedProphet against memory-efficient FAT baselines.
+
+Runs jFAT (the accuracy upper bound that needs memory swapping),
+FedRolex-AT (the strongest partial-training baseline) and FedProphet on
+the same non-IID workload and device fleet, then prints the Table-2-style
+accuracy columns and the Figure-7-style simulated time breakdown.
+
+Run:  python examples/compare_baselines.py        (~2-3 minutes)
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines import FedRolexAT, JointFAT
+from repro.core import FedProphet, FedProphetConfig
+from repro.data import make_cifar10_like
+from repro.flsim import FLConfig
+from repro.hardware import DeviceSampler, Device, device_pool, mem_req_bytes, forward_flops
+from repro.models import build_vgg
+from repro.utils import format_table
+
+SHAPE = (3, 8, 8)
+ROUNDS = 30
+
+
+def scaled_pool(builder):
+    """Shrink the paper's device pool to this workload's footprint so the
+    memory-pressure regime (and hence swapping) matches the paper's."""
+    ours = builder(np.random.default_rng(0))
+    full = build_vgg("vgg16", 10, (3, 32, 32))
+    mem_ratio = mem_req_bytes(ours, SHAPE, 32) / mem_req_bytes(full, (3, 32, 32), 64)
+    flops_ratio = forward_flops(ours, SHAPE) / forward_flops(full, (3, 32, 32))
+    return [
+        Device(d.name, d.perf_tflops * flops_ratio, d.mem_gb * mem_ratio, d.io_gbps * mem_ratio)
+        for d in device_pool("cifar10")
+    ]
+
+
+def main() -> None:
+    task = make_cifar10_like(image_size=SHAPE[1], train_per_class=100, test_per_class=25)
+    builder = lambda rng: build_vgg("vgg11", 10, SHAPE, width_mult=0.25, rng=rng)
+    sampler = DeviceSampler(scaled_pool(builder), "balanced")
+
+    common = dict(
+        num_clients=20, clients_per_round=4, local_iters=6, batch_size=32,
+        lr=0.08, train_pgd_steps=2, eval_pgd_steps=5, eval_every=0,
+        eval_max_samples=150, seed=0,
+    )
+    experiments = {
+        "jFAT": JointFAT(task, builder, FLConfig(rounds=ROUNDS, **common), device_sampler=sampler),
+        "FedRolex-AT": FedRolexAT(task, builder, FLConfig(rounds=ROUNDS, **common), device_sampler=sampler),
+        "FedProphet": FedProphet(
+            task, builder,
+            FedProphetConfig(rounds=3 * ROUNDS, rounds_per_module=12, patience=8,
+                             r_min_fraction=0.35, val_samples=80, val_pgd_steps=3, **common),
+            device_sampler=sampler,
+        ),
+    }
+
+    rows = []
+    for name, exp in experiments.items():
+        t0 = time.time()
+        exp.run()
+        res = exp.final_eval(max_samples=150)
+        rows.append(
+            (
+                name,
+                f"{res.clean_acc:.2%}",
+                f"{res.pgd_acc:.2%}",
+                f"{res.aa_acc:.2%}",
+                f"{exp.total_compute_s:.3g}",
+                f"{exp.total_access_s:.3g}",
+                f"{time.time() - t0:.0f}s",
+            )
+        )
+    print()
+    print(format_table(
+        ["method", "clean", "PGD", "AA", "sim compute (s)", "sim access (s)", "wall"],
+        rows, title="FedProphet vs baselines (scaled CIFAR-like workload)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""FedProphet end-to-end: memory-efficient federated adversarial training.
+
+The paper's full pipeline on a scaled workload:
+
+1. a VGG backbone is partitioned into memory-constrained modules (Alg. 1),
+2. one hundred simulated edge devices (paper Table 5 pool) participate in
+   non-IID federated adversarial cascade learning,
+3. the server coordinates perturbation budgets (APA) and module
+   assignments (DMA),
+4. the final backbone is evaluated against PGD and an AutoAttack surrogate.
+
+Run:  python examples/fedprophet_training.py
+"""
+
+import numpy as np
+
+from repro.core import FedProphet, FedProphetConfig
+from repro.data import make_cifar10_like
+from repro.hardware import DEVICE_POOL_CIFAR10, DeviceSampler
+from repro.models import build_vgg
+
+SHAPE = (3, 8, 8)
+
+
+def main() -> None:
+    task = make_cifar10_like(image_size=SHAPE[1], train_per_class=80, test_per_class=20)
+    builder = lambda rng: build_vgg("vgg11", 10, SHAPE, width_mult=0.25, rng=rng)
+
+    config = FedProphetConfig(
+        num_clients=20, clients_per_round=4, local_iters=5, batch_size=32,
+        lr=0.08, rounds=40, rounds_per_module=10, patience=6,
+        train_pgd_steps=2, eval_pgd_steps=5, eval_every=0,
+        r_min_fraction=0.35, mu=1e-5, val_samples=80, val_pgd_steps=3, seed=0,
+    )
+    sampler = DeviceSampler(DEVICE_POOL_CIFAR10, heterogeneity="balanced")
+    fed = FedProphet(task, builder, config, device_sampler=sampler)
+
+    print(f"backbone: {fed.global_model.name} with {len(fed.global_model.atoms)} atoms")
+    print(f"R_max = {fed.r_max / 2**20:.1f} MB, R_min = {fed.r_min / 2**20:.1f} MB")
+    print(f"partition into {fed.partition.num_modules} modules: {fed.partition.ranges}")
+
+    fed.run(verbose=True)
+
+    print("\nper-module training stages:")
+    for stage in fed.stage_results:
+        print(
+            f"  module {stage.module + 1}: {stage.rounds} rounds, "
+            f"clean {stage.final_clean_acc:.2%} / adv {stage.final_adv_acc:.2%}, "
+            f"eps* = {stage.eps_star:.3f}"
+        )
+
+    result = fed.final_eval(max_samples=150)
+    print(
+        f"\nfinal backbone: clean {result.clean_acc:.2%}, "
+        f"PGD {result.pgd_acc:.2%}, AA {result.aa_acc:.2%}; "
+        f"simulated training time {fed.clock_s:.1f}s "
+        f"(compute {fed.total_compute_s:.1f}s + access {fed.total_access_s:.1f}s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Calibration: medium-scale comparison of jFAT / FedRolex-AT / FedProphet.
+
+Used during development to choose benchmark scales; not part of the bench
+suite.  Run: python scripts/calibrate.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines import FedRolexAT, JointFAT
+from repro.core import FedProphet, FedProphetConfig
+from repro.data import make_cifar10_like
+from repro.flsim import FLConfig
+from repro.hardware import DEVICE_POOL_CIFAR10, DeviceSampler
+from repro.models import build_vgg
+
+SHAPE = (3, 10, 10)
+ROUNDS = 40
+
+task = make_cifar10_like(image_size=10, train_per_class=150, test_per_class=30, seed=0)
+builder = lambda rng: build_vgg("vgg11", 10, SHAPE, width_mult=0.25, rng=rng)
+sampler = DeviceSampler(DEVICE_POOL_CIFAR10, "balanced")
+
+common = dict(
+    num_clients=20, clients_per_round=5, local_iters=5, batch_size=32,
+    lr=0.05, train_pgd_steps=4, eval_pgd_steps=5, eval_every=0,
+    eval_max_samples=150, seed=0,
+)
+
+results = {}
+for name, make in [
+    ("jfat", lambda: JointFAT(task, builder, FLConfig(rounds=ROUNDS, **common), device_sampler=sampler)),
+    ("fedrolex", lambda: FedRolexAT(task, builder, FLConfig(rounds=ROUNDS, **common), device_sampler=sampler)),
+    ("fedprophet", lambda: FedProphet(
+        task, builder,
+        FedProphetConfig(rounds=2 * ROUNDS, rounds_per_module=30, patience=12,
+                         r_min_fraction=0.25, val_samples=100, val_pgd_steps=3, **common),
+        device_sampler=sampler)),
+]:
+    t0 = time.time()
+    exp = make()
+    exp.run()
+    res = exp.evaluate(max_samples=200)
+    wall = time.time() - t0
+    results[name] = res
+    extra = ""
+    if name == "fedprophet":
+        extra = f" modules={exp.partition.num_modules} stages={[(s.rounds, round(s.final_adv_acc,2)) for s in exp.stage_results]}"
+    print(f"{name:10s} clean={res.clean_acc:.3f} pgd={res.pgd_acc:.3f} "
+          f"clock={exp.clock_s:.0f}s wall={wall:.0f}s{extra}", flush=True)

@@ -1,0 +1,21 @@
+"""Adversarial attacks: FGSM, PGD (ℓ∞ / ℓ2), and an AutoAttack surrogate.
+
+All attacks operate through :class:`ModelWithLoss`, which exposes the only
+primitive they need — the loss value and its gradient w.r.t. the *input* —
+so the same code attacks raw images (ℓ∞, clipped to [0,1]) and FedProphet's
+intermediate features (ℓ2, unclipped).
+"""
+
+from repro.attacks.base import ModelWithLoss
+from repro.attacks.fgsm import fgsm_attack
+from repro.attacks.pgd import pgd_attack, PGDConfig
+from repro.attacks.autoattack import auto_attack_lite, apgd_attack
+
+__all__ = [
+    "ModelWithLoss",
+    "fgsm_attack",
+    "pgd_attack",
+    "PGDConfig",
+    "apgd_attack",
+    "auto_attack_lite",
+]

@@ -1,0 +1,64 @@
+"""Adapter exposing loss-and-input-gradient for attack algorithms."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+
+
+class ModelWithLoss:
+    """Bundle a model (or model segment) with a cross-entropy loss.
+
+    Attacks repeatedly need ``(loss, d loss / d input)``; this adapter runs
+    the forward/backward pair.  Note the backward pass also accumulates
+    parameter gradients as a side effect — training loops must call
+    ``zero_grad`` before their own update backward, which every trainer in
+    this repo does.
+    """
+
+    def __init__(self, model: Module, head: Optional[Module] = None):
+        self.model = model
+        self.head = head
+        self._ce = CrossEntropyLoss()
+
+    def _apply_head(self, out: np.ndarray) -> Tuple[np.ndarray, Optional[Tuple[int, ...]]]:
+        """Run the head, flattening conv features for plain Linear heads.
+
+        Structured heads (e.g. :class:`repro.core.heads.AuxHead`) accept the
+        body output directly and handle their own shaping.
+        """
+        from repro.nn.linear import Linear
+
+        if isinstance(self.head, Linear) and out.ndim > 2:
+            return self.head(out.reshape(out.shape[0], -1)), out.shape
+        return self.head(out), None
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        out = self.model(x)
+        if self.head is not None:
+            out, _ = self._apply_head(out)
+        return out
+
+    def loss_and_input_grad(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, np.ndarray]:
+        out = self.model(x)
+        flat_shape = None
+        if self.head is not None:
+            out, flat_shape = self._apply_head(out)
+        loss = self._ce(out, y)
+        g = self._ce.backward()
+        if self.head is not None:
+            g = self.head.backward(g)
+            if flat_shape is not None:
+                g = g.reshape(flat_shape)
+        return loss, self.model.backward(g)
+
+    def per_sample_losses(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Per-sample CE losses (used by APGD's step-size controller)."""
+        from repro.nn.losses import log_softmax
+
+        logits = self.logits(x)
+        return -log_softmax(logits)[np.arange(len(y)), np.asarray(y)]

@@ -1,0 +1,26 @@
+"""Fast Gradient Sign Method (Goodfellow et al., 2014)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.base import ModelWithLoss
+
+
+def fgsm_attack(
+    mwl: ModelWithLoss,
+    x: np.ndarray,
+    y: np.ndarray,
+    eps: float,
+    clip: Optional[Tuple[float, float]] = (0.0, 1.0),
+) -> np.ndarray:
+    """Single-step ℓ∞ attack: ``x + eps * sign(grad)``."""
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    _, grad = mwl.loss_and_input_grad(x, y)
+    adv = x + eps * np.sign(grad)
+    if clip is not None:
+        adv = np.clip(adv, clip[0], clip[1])
+    return adv

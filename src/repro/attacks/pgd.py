@@ -1,0 +1,115 @@
+"""Projected Gradient Descent attacks (Madry et al., 2017).
+
+Supports the two geometries the paper uses:
+
+* ℓ∞ with box clipping — raw-image attacks (ε0 = 8/255),
+* ℓ2 without clipping — FedProphet's intermediate-feature perturbations
+  (Eq. 9's inner maximisation on ``z_{m-1}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.base import ModelWithLoss
+
+_EPS_DIV = 1e-12
+
+
+@dataclass(frozen=True)
+class PGDConfig:
+    """Attack hyperparameters.
+
+    ``step_size=None`` uses the conventional ``2.5 * eps / steps``.
+    ``clip=None`` disables box clipping (intermediate features).
+    """
+
+    eps: float
+    steps: int
+    norm: str = "linf"  # "linf" | "l2"
+    step_size: Optional[float] = None
+    rand_init: bool = True
+    clip: Optional[Tuple[float, float]] = (0.0, 1.0)
+
+    def __post_init__(self):
+        if self.eps < 0:
+            raise ValueError("eps must be non-negative")
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if self.norm not in ("linf", "l2"):
+            raise ValueError(f"unsupported norm {self.norm!r}")
+
+    @property
+    def alpha(self) -> float:
+        return self.step_size if self.step_size is not None else 2.5 * self.eps / self.steps
+
+
+def _flat_l2(v: np.ndarray) -> np.ndarray:
+    """Per-sample ℓ2 norms, shape (N, 1, 1, ...) broadcastable to v."""
+    n = v.shape[0]
+    norms = np.sqrt((v.reshape(n, -1) ** 2).sum(axis=1))
+    return norms.reshape((n,) + (1,) * (v.ndim - 1))
+
+
+def project(delta: np.ndarray, eps: float, norm: str) -> np.ndarray:
+    """Project perturbations onto the ε-ball of the given norm."""
+    if norm == "linf":
+        return np.clip(delta, -eps, eps)
+    norms = _flat_l2(delta)
+    factor = np.minimum(1.0, eps / (norms + _EPS_DIV))
+    return delta * factor
+
+
+def random_init(shape: Tuple[int, ...], eps: float, norm: str, rng: np.random.Generator) -> np.ndarray:
+    """Random start inside the ε-ball."""
+    if norm == "linf":
+        return rng.uniform(-eps, eps, size=shape)
+    delta = rng.normal(size=shape)
+    norms = _flat_l2(delta)
+    radii = rng.uniform(0.0, 1.0, size=(shape[0],) + (1,) * (len(shape) - 1)) ** (
+        1.0 / max(1, int(np.prod(shape[1:])))
+    )
+    return delta / (norms + _EPS_DIV) * radii * eps
+
+
+def gradient_step(grad: np.ndarray, alpha: float, norm: str) -> np.ndarray:
+    """Steepest-ascent step for the given norm geometry."""
+    if norm == "linf":
+        return alpha * np.sign(grad)
+    norms = _flat_l2(grad)
+    return alpha * grad / (norms + _EPS_DIV)
+
+
+def pgd_attack(
+    mwl: ModelWithLoss,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: PGDConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Run PGD and return the adversarial inputs ``x + delta``.
+
+    The model is used as-is (caller controls train/eval mode); parameter
+    gradients accumulated during the attack are the caller's to clear.
+    """
+    if config.eps == 0.0:
+        return x.copy()
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if config.rand_init:
+        delta = random_init(x.shape, config.eps, config.norm, rng)
+    else:
+        delta = np.zeros_like(x)
+    if config.clip is not None:
+        lo, hi = config.clip
+        delta = np.clip(x + delta, lo, hi) - x
+    for _ in range(config.steps):
+        _, grad = mwl.loss_and_input_grad(x + delta, y)
+        delta = delta + gradient_step(grad, config.alpha, config.norm)
+        delta = project(delta, config.eps, config.norm)
+        if config.clip is not None:
+            lo, hi = config.clip
+            delta = np.clip(x + delta, lo, hi) - x
+    return x + delta

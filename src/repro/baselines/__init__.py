@@ -1,0 +1,35 @@
+"""Baseline FAT algorithms the paper compares against (§7.1, App. B.2).
+
+* :mod:`repro.baselines.jfat` — joint federated adversarial training
+  (end-to-end PGD-AT + FedAvg; memory swapping when the model exceeds a
+  client's memory),
+* :mod:`repro.baselines.heterofl`, :mod:`repro.baselines.feddrop`,
+  :mod:`repro.baselines.fedrolex` — partial-training FL with static /
+  random / rolling channel-slice sub-model extraction,
+* :mod:`repro.baselines.feddf`, :mod:`repro.baselines.fedet` —
+  knowledge-distillation FL with heterogeneous client model families,
+* :mod:`repro.baselines.fedrbn` — federated robustness propagation via
+  dual batch-norm statistics.
+"""
+
+from repro.baselines.jfat import JointFAT
+from repro.baselines.subnet import extract_submodel, scatter_submodel_state, SubmodelSlice
+from repro.baselines.heterofl import HeteroFLAT
+from repro.baselines.feddrop import FedDropAT
+from repro.baselines.fedrolex import FedRolexAT
+from repro.baselines.feddf import FedDFAT
+from repro.baselines.fedet import FedETAT
+from repro.baselines.fedrbn import FedRBN
+
+__all__ = [
+    "JointFAT",
+    "extract_submodel",
+    "scatter_submodel_state",
+    "SubmodelSlice",
+    "HeteroFLAT",
+    "FedDropAT",
+    "FedRolexAT",
+    "FedDFAT",
+    "FedETAT",
+    "FedRBN",
+]

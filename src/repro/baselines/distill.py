@@ -1,0 +1,93 @@
+"""Ensemble knowledge distillation on a public dataset (FedDF/FedET core).
+
+The server holds one "prototype" model per architecture in the family;
+client updates FedAvg into their architecture's prototype, and the global
+(largest) model is then trained to match the ensemble's soft predictions
+on a small public dataset (paper App. B.2: ~10 % of the data, 128
+distillation iterations per round).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.nn.losses import log_softmax, softmax
+from repro.nn.module import Module
+from repro.optim.sgd import SGD
+
+
+def soft_cross_entropy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Mean soft-target cross-entropy: −Σ p_teacher · log_softmax(student)."""
+    return float(-(targets * log_softmax(logits)).sum(axis=1).mean())
+
+
+def soft_cross_entropy_grad(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Gradient of the mean soft CE w.r.t. the student logits."""
+    n = logits.shape[0]
+    return (softmax(logits) - targets) / n
+
+
+def ensemble_soft_targets(
+    teachers: Sequence[Module],
+    x: np.ndarray,
+    weights: Optional[Sequence[float]] = None,
+    confidence_weighted: bool = False,
+) -> np.ndarray:
+    """Average (optionally confidence-weighted) teacher softmax outputs.
+
+    Confidence weighting is FedET's transfer rule: teachers that are more
+    certain on a sample contribute more to its soft target.
+    """
+    if not teachers:
+        raise ValueError("need at least one teacher")
+    probs = []
+    for t in teachers:
+        t.eval()
+        probs.append(softmax(t(x)))
+    probs = np.stack(probs)  # (T, N, K)
+    if confidence_weighted:
+        conf = probs.max(axis=2, keepdims=True)  # (T, N, 1)
+        w = conf / conf.sum(axis=0, keepdims=True)
+        return (w * probs).sum(axis=0)
+    if weights is None:
+        return probs.mean(axis=0)
+    w = np.asarray(weights, dtype=np.float64)
+    w = w / w.sum()
+    return np.einsum("t,tnk->nk", w, probs)
+
+
+def distill(
+    student: Module,
+    teachers: Sequence[Module],
+    public: ArrayDataset,
+    iterations: int = 128,
+    batch_size: int = 64,
+    lr: float = 0.005,
+    momentum: float = 0.9,
+    confidence_weighted: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Train the student on the ensemble's soft targets; returns mean loss."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    student.train()
+    opt = SGD(student.parameters(), lr=lr, momentum=momentum)
+    loader = DataLoader(
+        public, batch_size=min(batch_size, len(public)), shuffle=True, rng=rng
+    )
+    batches = loader.infinite()
+    losses: List[float] = []
+    for _ in range(iterations):
+        x, _ = next(batches)
+        targets = ensemble_soft_targets(
+            teachers, x, confidence_weighted=confidence_weighted
+        )
+        student.train()
+        opt.zero_grad()
+        logits = student(x)
+        losses.append(soft_cross_entropy(logits, targets))
+        student.backward(soft_cross_entropy_grad(logits, targets))
+        opt.step()
+    return float(np.mean(losses)) if losses else 0.0

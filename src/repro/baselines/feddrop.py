@@ -1,0 +1,11 @@
+"""FedDrop-AT (Wen et al., 2022): random per-round channel dropout."""
+
+from repro.baselines.partial import PartialTrainingFAT
+
+
+class FedDropAT(PartialTrainingFAT):
+    """Each client each round trains a fresh uniformly random channel
+    subset, spreading coverage across the whole model over time."""
+
+    name = "feddrop-at"
+    strategy = "random"

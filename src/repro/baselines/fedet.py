@@ -1,0 +1,14 @@
+"""FedET-AT (Cho et al., 2022): confidence-weighted ensemble transfer.
+
+Same heterogeneous-family setup as FedDF, but the ensemble's soft targets
+weight each teacher by its per-sample confidence (the core of FedET's
+"ensemble knowledge transfer"), which amplifies confidently-wrong teachers
+under non-IID shards — one reason the paper finds it weakest under FAT.
+"""
+
+from repro.baselines.feddf import FedDFAT
+
+
+class FedETAT(FedDFAT):
+    name = "fedet-at"
+    confidence_weighted = True

@@ -1,0 +1,186 @@
+"""FedRBN (Hong et al., 2023): federated robustness propagation.
+
+All clients train the *same* full model (no objective inconsistency), but
+only memory-sufficient clients can afford adversarial training; the rest
+do standard training.  Robustness is "propagated" by sharing the
+adversarial batch-norm statistics of the AT clients with everyone, via
+:class:`~repro.nn.normalization.DualBatchNorm2d`.
+
+The paper finds FedRBN keeps high clean accuracy (homogeneous models) but
+weak robustness under high systematic heterogeneity, because few clients
+ever run AT — our reproduction preserves exactly that mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.attacks import ModelWithLoss, PGDConfig, pgd_attack
+from repro.data.dataset import DataLoader
+from repro.flsim.aggregation import weighted_average_states
+from repro.flsim.base import FederatedExperiment, FLClient, FLConfig
+from repro.flsim.local import standard_local_train
+from repro.hardware.devices import DeviceSampler, DeviceState
+from repro.hardware.flops import training_flops_per_iteration
+from repro.hardware.latency import LatencyModel, LocalTrainingCost
+from repro.hardware.memory import MemoryModel
+from repro.models.atoms import CascadeModel
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.normalization import DualBatchNorm2d, set_dual_bn_mode
+from repro.optim.sgd import SGD
+
+
+class FedRBN(FederatedExperiment):
+    """Robustness propagation via dual BN statistics.
+
+    The ``model_builder`` must produce models whose batch-norm layers are
+    :class:`DualBatchNorm2d` (pass ``bn_cls=DualBatchNorm2d`` to the zoo
+    builders); the constructor verifies this.
+    """
+
+    name = "fedrbn"
+
+    def __init__(
+        self,
+        task,
+        model_builder: Callable[[np.random.Generator], CascadeModel],
+        config: FLConfig,
+        device_sampler: Optional[DeviceSampler] = None,
+        latency_model: Optional[LatencyModel] = None,
+    ):
+        super().__init__(task, model_builder, config, device_sampler, latency_model)
+        if not any(isinstance(m, DualBatchNorm2d) for m in self.global_model.modules()):
+            raise ValueError(
+                "FedRBN requires a model with DualBatchNorm2d layers; build it "
+                "with bn_cls=DualBatchNorm2d"
+            )
+        mem = MemoryModel(batch_size=config.batch_size)
+        self.mem_req = mem.bytes_for(self.global_model, self.global_model.in_shape)
+        self.at_flops_iter = training_flops_per_iteration(
+            self.global_model, self.global_model.in_shape,
+            config.batch_size, config.train_pgd_steps,
+        )
+        self.st_flops_iter = training_flops_per_iteration(
+            self.global_model, self.global_model.in_shape, config.batch_size, 0
+        )
+        self._adv_stat_keys = [
+            name
+            for name, _ in self.global_model.named_buffers()
+            if name.endswith("_adv")
+        ]
+
+    def can_afford_at(self, state: Optional[DeviceState]) -> bool:
+        if state is None:
+            return True
+        return state.avail_mem_bytes >= self.mem_req
+
+    def _dual_adversarial_train(
+        self, client: FLClient, lr: float, rng: np.random.Generator
+    ) -> None:
+        """AT client: clean pass updates clean BN stats, adversarial pass
+        updates adversarial BN stats; both contribute to the SGD step."""
+        cfg = self.config
+        model = self.global_model
+        model.train()
+        opt = SGD(
+            model.parameters(), lr=lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay
+        )
+        ce = CrossEntropyLoss()
+        mwl = ModelWithLoss(model)
+        pgd = PGDConfig(eps=cfg.eps0, steps=cfg.train_pgd_steps, norm="linf")
+        loader = DataLoader(
+            client.dataset,
+            batch_size=min(cfg.batch_size, client.num_samples),
+            shuffle=True,
+            rng=rng,
+        )
+        batches = loader.infinite()
+        for _ in range(cfg.local_iters):
+            x, y = next(batches)
+            set_dual_bn_mode(model, adversarial=True)
+            x_adv = pgd_attack(mwl, x, y, pgd, rng=rng)
+            opt.zero_grad()
+            ce(model(x_adv), y)
+            model.backward(ce.backward())
+            adv_grads = [p.grad.copy() for p in model.parameters()]
+            set_dual_bn_mode(model, adversarial=False)
+            opt.zero_grad()
+            ce(model(x), y)
+            model.backward(ce.backward())
+            for p, g in zip(model.parameters(), adv_grads):
+                p.grad += g
+                p.grad *= 0.5
+            opt.step()
+
+    def run_round(
+        self,
+        round_idx: int,
+        clients: List[FLClient],
+        states: List[Optional[DeviceState]],
+    ) -> List[LocalTrainingCost]:
+        cfg = self.config
+        global_state = self.global_model.state_dict()
+        all_states, sizes, costs = [], [], []
+        at_states, at_sizes = [], []
+        for client, dev in zip(clients, states):
+            self.global_model.load_state_dict(global_state)
+            rng = np.random.default_rng(
+                cfg.seed * 1_000_003 + round_idx * 1009 + client.cid
+            )
+            is_at = self.can_afford_at(dev)
+            if is_at:
+                self._dual_adversarial_train(client, self.lr_at(round_idx), rng)
+            else:
+                set_dual_bn_mode(self.global_model, adversarial=False)
+                standard_local_train(
+                    self.global_model,
+                    client.dataset,
+                    iterations=cfg.local_iters,
+                    batch_size=cfg.batch_size,
+                    lr=self.lr_at(round_idx),
+                    momentum=cfg.momentum,
+                    weight_decay=cfg.weight_decay,
+                    rng=rng,
+                )
+            state = self.global_model.state_dict()
+            all_states.append(state)
+            sizes.append(client.num_samples)
+            if is_at:
+                at_states.append(state)
+                at_sizes.append(client.num_samples)
+            costs.append(self._cost(dev, is_at))
+
+        merged = weighted_average_states(all_states, [float(n) for n in sizes])
+        # Robustness propagation: adversarial BN statistics come only from
+        # the clients that actually ran adversarial training.
+        if at_states:
+            adv_merged = weighted_average_states(at_states, [float(n) for n in at_sizes])
+            for key in self._adv_stat_keys:
+                merged[key] = adv_merged[key]
+        else:
+            for key in self._adv_stat_keys:
+                merged[key] = global_state[key]
+        self.global_model.load_state_dict(merged)
+        return costs
+
+    def _cost(self, state: Optional[DeviceState], is_at: bool) -> LocalTrainingCost:
+        if state is None:
+            return LocalTrainingCost(0.0, 0.0)
+        return self.latency_model.local_training_cost(
+            state,
+            training_flops=self.at_flops_iter if is_at else self.st_flops_iter,
+            mem_req_bytes=self.mem_req,
+            iterations=self.config.local_iters,
+            pgd_steps=self.config.train_pgd_steps if is_at else 0,
+        )
+
+    def evaluate(self, max_samples: Optional[int] = None):
+        # Test-time robustness uses the propagated adversarial statistics.
+        set_dual_bn_mode(self.global_model, adversarial=True)
+        return super().evaluate(max_samples)
+
+    def final_eval(self, max_samples: Optional[int] = None):
+        set_dual_bn_mode(self.global_model, adversarial=True)
+        return super().final_eval(max_samples)

@@ -1,0 +1,11 @@
+"""FedRolex-AT (Alam et al., 2022): rolling-window sub-model extraction."""
+
+from repro.baselines.partial import PartialTrainingFAT
+
+
+class FedRolexAT(PartialTrainingFAT):
+    """The kept-channel window advances deterministically with the round
+    index, guaranteeing uniform coverage of all channels over a cycle."""
+
+    name = "fedrolex-at"
+    strategy = "rolling"

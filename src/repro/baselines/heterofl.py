@@ -1,0 +1,11 @@
+"""HeteroFL-AT (Diao et al., 2020): static prefix-channel sub-models."""
+
+from repro.baselines.partial import PartialTrainingFAT
+
+
+class HeteroFLAT(PartialTrainingFAT):
+    """Every client always trains the first k channels of each layer,
+    so small-client updates concentrate on a fixed nested core."""
+
+    name = "heterofl-at"
+    strategy = "static"

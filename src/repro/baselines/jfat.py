@@ -1,0 +1,88 @@
+"""Joint Federated Adversarial Training (Zizzo et al., 2020).
+
+FedAvg where every client adversarially trains the *whole* model
+end-to-end.  Clients whose available memory is below the model's training
+requirement fall back to memory swapping, whose data-access latency the
+hardware model charges (this is the slow-but-accurate upper-bound method
+in Table 2 / Fig. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.attacks.pgd import PGDConfig
+from repro.flsim.aggregation import fedavg
+from repro.flsim.base import FederatedExperiment, FLClient, FLConfig
+from repro.flsim.local import adversarial_local_train
+from repro.hardware.devices import DeviceSampler, DeviceState
+from repro.hardware.flops import training_flops_per_iteration
+from repro.hardware.latency import LatencyModel, LocalTrainingCost
+from repro.hardware.memory import MemoryModel
+from repro.models.atoms import CascadeModel
+
+
+class JointFAT(FederatedExperiment):
+    """End-to-end FAT with FedAvg aggregation."""
+
+    name = "jfat"
+
+    def __init__(
+        self,
+        task,
+        model_builder: Callable[[np.random.Generator], CascadeModel],
+        config: FLConfig,
+        device_sampler: Optional[DeviceSampler] = None,
+        latency_model: Optional[LatencyModel] = None,
+    ):
+        super().__init__(task, model_builder, config, device_sampler, latency_model)
+        mem = MemoryModel(batch_size=config.batch_size)
+        self.mem_req = mem.bytes_for(self.global_model, self.global_model.in_shape)
+        self.flops_per_iter = training_flops_per_iteration(
+            self.global_model,
+            self.global_model.in_shape,
+            batch_size=config.batch_size,
+            pgd_steps=config.train_pgd_steps,
+        )
+
+    def run_round(
+        self,
+        round_idx: int,
+        clients: List[FLClient],
+        states: List[Optional[DeviceState]],
+    ) -> List[LocalTrainingCost]:
+        cfg = self.config
+        global_state = self.global_model.state_dict()
+        local_states, sizes, costs = [], [], []
+        pgd = PGDConfig(eps=cfg.eps0, steps=cfg.train_pgd_steps, norm="linf")
+        for client, dev in zip(clients, states):
+            self.global_model.load_state_dict(global_state)
+            adversarial_local_train(
+                self.global_model,
+                client.dataset,
+                iterations=cfg.local_iters,
+                batch_size=cfg.batch_size,
+                lr=self.lr_at(round_idx),
+                pgd=pgd,
+                momentum=cfg.momentum,
+                weight_decay=cfg.weight_decay,
+                rng=np.random.default_rng(cfg.seed * 1_000_003 + round_idx * 1009 + client.cid),
+            )
+            local_states.append(self.global_model.state_dict())
+            sizes.append(client.num_samples)
+            costs.append(self._cost(dev))
+        self.global_model.load_state_dict(fedavg(local_states, sizes))
+        return costs
+
+    def _cost(self, state: Optional[DeviceState]) -> LocalTrainingCost:
+        if state is None:
+            return LocalTrainingCost(0.0, 0.0)
+        return self.latency_model.local_training_cost(
+            state,
+            training_flops=self.flops_per_iter,
+            mem_req_bytes=self.mem_req,
+            iterations=self.config.local_iters,
+            pgd_steps=self.config.train_pgd_steps,
+        )

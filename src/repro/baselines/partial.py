@@ -1,0 +1,104 @@
+"""Shared experiment loop for partial-training FAT baselines.
+
+Each client trains a width-sliced sub-model sized to its available memory
+(drop percentage ``1 − R_k/R_max``, paper App. B.2), adversarially, and the
+server partial-averages the slices back into the global model.  Concrete
+baselines differ only in the channel-selection strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.attacks.pgd import PGDConfig
+from repro.baselines.subnet import extract_submodel, scatter_submodel_state
+from repro.flsim.aggregation import masked_partial_average
+from repro.flsim.base import FederatedExperiment, FLClient, FLConfig
+from repro.flsim.local import adversarial_local_train
+from repro.hardware.devices import DeviceSampler, DeviceState
+from repro.hardware.flops import training_flops_per_iteration
+from repro.hardware.latency import LatencyModel, LocalTrainingCost
+from repro.hardware.memory import MemoryModel
+from repro.models.atoms import CascadeModel
+
+
+class PartialTrainingFAT(FederatedExperiment):
+    """Base class; subclasses set ``strategy`` (static/random/rolling)."""
+
+    strategy = "static"
+    min_ratio = 0.125
+
+    def __init__(
+        self,
+        task,
+        model_builder: Callable[[np.random.Generator], CascadeModel],
+        config: FLConfig,
+        device_sampler: Optional[DeviceSampler] = None,
+        latency_model: Optional[LatencyModel] = None,
+    ):
+        super().__init__(task, model_builder, config, device_sampler, latency_model)
+        self.mem = MemoryModel(batch_size=config.batch_size)
+        self.r_max = self.mem.bytes_for(self.global_model, self.global_model.in_shape)
+
+    def client_ratio(self, state: Optional[DeviceState]) -> float:
+        """Sub-model width from available memory: clip(R_k / R_max, ...)."""
+        if state is None:
+            return 1.0
+        return float(np.clip(state.avail_mem_bytes / self.r_max, self.min_ratio, 1.0))
+
+    def run_round(
+        self,
+        round_idx: int,
+        clients: List[FLClient],
+        states: List[Optional[DeviceState]],
+    ) -> List[LocalTrainingCost]:
+        cfg = self.config
+        global_state = self.global_model.state_dict()
+        updates, costs = [], []
+        pgd = PGDConfig(eps=cfg.eps0, steps=cfg.train_pgd_steps, norm="linf")
+        for client, dev in zip(clients, states):
+            ratio = self.client_ratio(dev)
+            rng = np.random.default_rng(
+                cfg.seed * 1_000_003 + round_idx * 1009 + client.cid
+            )
+            piece = extract_submodel(
+                self.global_model, ratio, self.strategy, round_idx=round_idx, rng=rng
+            )
+            adversarial_local_train(
+                piece.model,
+                client.dataset,
+                iterations=cfg.local_iters,
+                batch_size=cfg.batch_size,
+                lr=self.lr_at(round_idx),
+                pgd=pgd,
+                momentum=cfg.momentum,
+                weight_decay=cfg.weight_decay,
+                rng=rng,
+            )
+            scattered, mask = scatter_submodel_state(
+                piece.model.state_dict(), piece.index_map, global_state
+            )
+            updates.append((scattered, mask, float(client.num_samples)))
+            costs.append(self._cost(dev, piece.model))
+        self.global_model.load_state_dict(
+            masked_partial_average(global_state, updates)
+        )
+        return costs
+
+    def _cost(self, state: Optional[DeviceState], submodel: CascadeModel) -> LocalTrainingCost:
+        if state is None:
+            return LocalTrainingCost(0.0, 0.0)
+        cfg = self.config
+        flops = training_flops_per_iteration(
+            submodel, submodel.in_shape, batch_size=cfg.batch_size, pgd_steps=cfg.train_pgd_steps
+        )
+        mem_req = self.mem.bytes_for(submodel, submodel.in_shape)
+        return self.latency_model.local_training_cost(
+            state,
+            training_flops=flops,
+            mem_req_bytes=mem_req,
+            iterations=cfg.local_iters,
+            pgd_steps=cfg.train_pgd_steps,
+        )

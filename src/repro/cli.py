@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``partition``  — run Algorithm 1 on a named architecture and print the
+                 module table (paper Tables 7–8 style).
+``devices``    — print a device pool and sampled real-time resources.
+``train``      — run a federated experiment (FedProphet or a baseline)
+                 on a synthetic workload and print the final metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+MB = 1024**2
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.core.partitioner import (
+        full_model_mem_bytes,
+        partition_model,
+        partition_summary,
+    )
+    from repro.hardware import MemoryModel
+    from repro.models import build_model
+    from repro.utils import format_table
+
+    shape = (3, args.image_size, args.image_size)
+    model = build_model(args.model, args.classes, shape, width_mult=args.width_mult)
+    mem = MemoryModel(batch_size=args.batch_size, bytes_per_scalar=args.bytes_per_scalar)
+    r_max = full_model_mem_bytes(model, mem)
+    r_min = args.r_min_mb * MB if args.r_min_mb else args.r_min_fraction * r_max
+    partition = partition_model(model, r_min, mem)
+    rows = [
+        (
+            r["module"],
+            ", ".join(r["atoms"]),
+            f"{r['mem_bytes'] / MB:.1f} MB",
+            f"{r['flops_fwd'] / 1e9:.3f} G",
+        )
+        for r in partition_summary(model, partition, mem)
+    ]
+    print(
+        format_table(
+            ["module", "layers", "MemReq", "FLOPs (fwd)"],
+            rows,
+            title=(
+                f"{args.model} @ {shape}, R_max = {r_max / MB:.1f} MB, "
+                f"R_min = {r_min / MB:.1f} MB -> {partition.num_modules} modules"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from repro.hardware import DeviceSampler, device_pool
+    from repro.utils import format_table
+
+    pool = device_pool(args.pool)
+    rows = [(d.name, f"{d.perf_tflops} TF", f"{d.mem_gb} GB", f"{d.io_gbps} GB/s") for d in pool]
+    print(format_table(["device", "perf", "memory", "I/O bw"], rows,
+                       title=f"device pool: {args.pool}"))
+    sampler = DeviceSampler(pool, args.heterogeneity)
+    rng = np.random.default_rng(args.seed)
+    states = sampler.sample_many(args.samples, rng)
+    mems = np.array([s.avail_mem_bytes / 1024**3 for s in states])
+    perfs = np.array([s.avail_perf_flops / 1e12 for s in states])
+    print(
+        f"\n{args.samples} samples ({args.heterogeneity}): "
+        f"avail mem {mems.mean():.2f}±{mems.std():.2f} GB, "
+        f"avail perf {perfs.mean():.2f}±{perfs.std():.2f} TFLOPS"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.baselines import (
+        FedDropAT,
+        FedRolexAT,
+        HeteroFLAT,
+        JointFAT,
+    )
+    from repro.core import FedProphet, FedProphetConfig
+    from repro.data import make_cifar10_like
+    from repro.flsim import FLConfig
+    from repro.hardware import DeviceSampler, device_pool
+    from repro.models import build_vgg
+
+    shape = (3, args.image_size, args.image_size)
+    task = make_cifar10_like(
+        image_size=args.image_size, train_per_class=args.train_per_class,
+        test_per_class=max(10, args.train_per_class // 5), seed=args.seed,
+    )
+    builder = lambda rng: build_vgg(
+        "vgg11", 10, shape, width_mult=args.width_mult, rng=rng
+    )
+    sampler = DeviceSampler(device_pool("cifar10"), args.heterogeneity)
+    common = dict(
+        num_clients=args.clients, clients_per_round=args.clients_per_round,
+        local_iters=args.local_iters, batch_size=args.batch_size, lr=args.lr,
+        train_pgd_steps=args.pgd_steps, eval_pgd_steps=5, eval_every=0,
+        eval_max_samples=150, seed=args.seed,
+    )
+    if args.method == "fedprophet":
+        exp = FedProphet(
+            task, builder,
+            FedProphetConfig(rounds=args.rounds, rounds_per_module=max(4, args.rounds // 4),
+                             patience=max(3, args.rounds // 8), r_min_fraction=0.35,
+                             val_samples=80, val_pgd_steps=3, **common),
+            device_sampler=sampler,
+        )
+    else:
+        cls = {
+            "jfat": JointFAT, "heterofl": HeteroFLAT,
+            "feddrop": FedDropAT, "fedrolex": FedRolexAT,
+        }[args.method]
+        exp = cls(task, builder, FLConfig(rounds=args.rounds, **common),
+                  device_sampler=sampler)
+    exp.run(verbose=args.verbose)
+    res = exp.final_eval(max_samples=150)
+    print(
+        f"\n{args.method}: clean {res.clean_acc:.2%}, PGD {res.pgd_acc:.2%}, "
+        f"AA {res.aa_acc:.2%}; simulated time {exp.clock_s:.3g}s "
+        f"(compute {exp.total_compute_s:.3g}s, access {exp.total_access_s:.3g}s)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="run Algorithm 1 and print the module table")
+    p.add_argument("--model", default="vgg16")
+    p.add_argument("--classes", type=int, default=10)
+    p.add_argument("--image-size", type=int, default=32)
+    p.add_argument("--width-mult", type=float, default=1.0)
+    p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument("--bytes-per-scalar", type=int, default=4,
+                   help="4=fp32 (paper), 2=fp16, 1=int8 low-bit training")
+    p.add_argument("--r-min-mb", type=float, default=None)
+    p.add_argument("--r-min-fraction", type=float, default=0.2)
+    p.set_defaults(func=_cmd_partition)
+
+    p = sub.add_parser("devices", help="inspect a device pool")
+    p.add_argument("--pool", default="cifar10", choices=["cifar10", "caltech256"])
+    p.add_argument("--heterogeneity", default="balanced", choices=["balanced", "unbalanced"])
+    p.add_argument("--samples", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_devices)
+
+    p = sub.add_parser("train", help="run a federated experiment")
+    p.add_argument("--method", default="fedprophet",
+                   choices=["fedprophet", "jfat", "heterofl", "feddrop", "fedrolex"])
+    p.add_argument("--heterogeneity", default="balanced", choices=["balanced", "unbalanced"])
+    p.add_argument("--rounds", type=int, default=40)
+    p.add_argument("--clients", type=int, default=20)
+    p.add_argument("--clients-per-round", type=int, default=4)
+    p.add_argument("--local-iters", type=int, default=5)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--lr", type=float, default=0.08)
+    p.add_argument("--pgd-steps", type=int, default=2)
+    p.add_argument("--image-size", type=int, default=8)
+    p.add_argument("--width-mult", type=float, default=0.25)
+    p.add_argument("--train-per-class", type=int, default=80)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_train)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Partial-average aggregation of modules and auxiliary heads (Eq. 16–17).
+
+With DMA, different clients return different module spans.  Module n is
+averaged over the clients who trained it (those with M_k ≥ n), weighted by
+local data size; head n is averaged over the clients whose *last* module
+was n (M_k = n), since only they trained that head.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.partitioner import Partition
+from repro.models.atoms import CascadeModel
+from repro.nn.module import Module
+
+StateDict = Dict[str, np.ndarray]
+
+
+def atom_param_names(model: CascadeModel, start: int, stop: int) -> List[str]:
+    """State-dict keys (params + buffers) of atoms [start, stop)."""
+    names: List[str] = []
+    for i in range(start, stop):
+        prefix = f"atom{i}."
+        atom = model.atoms[i].module
+        names.extend(prefix + n for n, _ in atom.named_parameters())
+        names.extend(prefix + n for n, _ in atom.named_buffers())
+    return names
+
+
+def extract_segment_state(model: CascadeModel, start: int, stop: int) -> StateDict:
+    """Copy the state of atoms [start, stop) out of the model."""
+    full = model.state_dict()
+    return {k: full[k] for k in atom_param_names(model, start, stop)}
+
+
+def aggregate_modules(
+    model: CascadeModel,
+    partition: Partition,
+    current_module: int,
+    client_states: Sequence[StateDict],
+    client_assignments: Sequence[int],
+    client_weights: Sequence[float],
+) -> StateDict:
+    """Eq. 16: per-module weighted average over the clients that trained it.
+
+    ``client_states`` hold each client's trained-segment state (atoms of
+    modules ``current_module..M_k``).  Returns the updated global state for
+    every touched key; untouched keys are absent (keep previous values).
+    """
+    if not (len(client_states) == len(client_assignments) == len(client_weights)):
+        raise ValueError("client lists must have equal length")
+    out: StateDict = {}
+    num_modules = len(partition)
+    for n in range(current_module, num_modules):
+        trainers = [
+            (state, w)
+            for state, mk, w in zip(client_states, client_assignments, client_weights)
+            if mk >= n
+        ]
+        if not trainers:
+            continue
+        start, stop = partition[n]
+        keys = atom_param_names(model, start, stop)
+        total = sum(w for _, w in trainers)
+        for key in keys:
+            acc = np.zeros_like(trainers[0][0][key], dtype=np.float64)
+            for state, w in trainers:
+                acc += (w / total) * state[key]
+            out[key] = acc
+    return out
+
+
+def aggregate_heads(
+    heads: Sequence[Optional[Module]],
+    client_head_states: Sequence[Optional[StateDict]],
+    client_assignments: Sequence[int],
+    client_weights: Sequence[float],
+) -> None:
+    """Eq. 17: average head n over clients with M_k = n, in place."""
+    for n, head in enumerate(heads):
+        if head is None:
+            continue
+        trainers = [
+            (state, w)
+            for state, mk, w in zip(client_head_states, client_assignments, client_weights)
+            if mk == n and state is not None
+        ]
+        if not trainers:
+            continue
+        total = sum(w for _, w in trainers)
+        merged: StateDict = {}
+        for key in trainers[0][0]:
+            acc = np.zeros_like(trainers[0][0][key], dtype=np.float64)
+            for state, w in trainers:
+                acc += (w / total) * state[key]
+            merged[key] = acc
+        head.load_state_dict(merged)

@@ -1,0 +1,82 @@
+"""Adaptive Perturbation Adjustment (paper §6.2, Eq. 11–12).
+
+The perturbation budget for training module m is
+
+    ε_{m-1}(t) = α_{m-1}(t) · E[ max_{‖δ_{m-2}‖ ≤ ε*_{m-2}} ‖Δz_{m-1}‖ ]
+
+where the expectation is the average of the max output displacements the
+clients reported when module m−1 was fixed.  The scaling factor α is nudged
+up when the clean/adversarial accuracy ratio of the current cascade exceeds
+(1+γ)× the fixed ratio of the previous module (robustness lagging), and
+down in the symmetric case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class AdaptivePerturbationAdjustment:
+    """Tracks α for the module currently being trained.
+
+    ``start_module`` arms the controller with the base magnitude (average
+    max ‖Δz‖ collected from clients) and the previous module's final
+    clean/adv accuracies; ``update`` applies Eq. 12 once per round.
+    """
+
+    gamma: float = 0.05
+    delta_alpha: float = 0.1
+    alpha_init: float = 0.3
+    alpha_min: float = 0.05
+    alpha_max: float = 2.0
+    enabled: bool = True
+
+    alpha: float = field(init=False, default=0.3)
+    base_magnitude: float = field(init=False, default=0.0)
+    prev_ratio: Optional[float] = field(init=False, default=None)
+    history: List[float] = field(init=False, default_factory=list)
+
+    def __post_init__(self):
+        if not (0 < self.gamma < 1):
+            raise ValueError("gamma must be in (0, 1)")
+        if self.delta_alpha <= 0:
+            raise ValueError("delta_alpha must be positive")
+        self.alpha = self.alpha_init
+
+    def start_module(
+        self,
+        base_magnitude: float,
+        prev_clean_acc: float,
+        prev_adv_acc: float,
+    ) -> None:
+        """Arm the controller for a new module's training stage."""
+        if base_magnitude < 0:
+            raise ValueError("base_magnitude must be non-negative")
+        self.base_magnitude = base_magnitude
+        self.alpha = self.alpha_init
+        self.prev_ratio = _safe_ratio(prev_clean_acc, prev_adv_acc)
+        self.history.clear()
+
+    @property
+    def epsilon(self) -> float:
+        """Current ℓ2 budget for the intermediate-feature perturbation."""
+        return self.alpha * self.base_magnitude
+
+    def update(self, clean_acc: float, adv_acc: float) -> float:
+        """Apply Eq. 12 given this round's validation accuracies."""
+        self.history.append(self.epsilon)
+        if not self.enabled or self.prev_ratio is None:
+            return self.epsilon
+        ratio = _safe_ratio(clean_acc, adv_acc)
+        if ratio > (1 + self.gamma) * self.prev_ratio:
+            self.alpha = min(self.alpha + self.delta_alpha, self.alpha_max)
+        elif ratio < (1 - self.gamma) * self.prev_ratio:
+            self.alpha = max(self.alpha - self.delta_alpha, self.alpha_min)
+        return self.epsilon
+
+
+def _safe_ratio(clean_acc: float, adv_acc: float) -> float:
+    """clean/adv accuracy ratio, guarded against a zero denominator."""
+    return clean_acc / max(adv_acc, 1e-6)

@@ -1,0 +1,101 @@
+"""Differentiated Module Assignment (paper §6.3, Eq. 14–15).
+
+"Prophet" clients with spare resources train extra future modules jointly.
+Client k is assigned modules ``m..M_k`` with the largest ``M_k`` satisfying
+
+* memory:  MemReq(w_m ∘ … ∘ w_{M_k} ∘ θ_{M_k}) ≤ R_k(t)          (Eq. 14)
+* FLOPs:   FLOPs(w_m ∘ … ∘ w_{M_k} ∘ θ_{M_k})
+              ≤ (P_k(t) / P_min(t)) · FLOPs(w_m)                   (Eq. 15)
+
+The FLOPs bound caps every client's local-training time at the slowest
+client's single-module time, so DMA never inflates the synchronous round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.partitioner import Partition, aux_head_bytes, segment_mem_bytes
+from repro.hardware.devices import DeviceState
+from repro.hardware.memory import MemoryModel
+from repro.hardware.profile import profile_module
+from repro.models.atoms import CascadeModel
+
+
+@dataclass(frozen=True)
+class SegmentCost:
+    """Static cost of training a module span [module_a .. module_b]."""
+
+    mem_bytes: int
+    flops_fwd: int  # forward FLOPs per sample, incl. the aux head
+
+
+class SegmentCostTable:
+    """Precomputed MemReq/FLOPs for every contiguous module span.
+
+    The table is O(M²) entries, each computed analytically, so building it
+    once per experiment is cheap even for paper-scale models.
+    """
+
+    def __init__(self, model: CascadeModel, partition: Partition, mem: MemoryModel):
+        self.partition = partition
+        self._costs: Dict[Tuple[int, int], SegmentCost] = {}
+        num_modules = len(partition)
+        for a in range(num_modules):
+            start = partition[a][0]
+            for b in range(a, num_modules):
+                stop = partition[b][1]
+                seg = model.segment(start, stop)
+                in_shape = model.feature_shape(start - 1)
+                prof = profile_module(seg, in_shape)
+                flops = prof.flops
+                if stop < len(model.atoms):
+                    from repro.core.heads import head_input_dim
+
+                    head_dim = head_input_dim(model.feature_shape(stop - 1))
+                    flops += 2 * head_dim * model.num_classes
+                mem_b = segment_mem_bytes(model, start, stop, mem, include_head=True)
+                self._costs[(a, b)] = SegmentCost(mem_bytes=mem_b, flops_fwd=flops)
+
+    def cost(self, module_a: int, module_b: int) -> SegmentCost:
+        return self._costs[(module_a, module_b)]
+
+
+def assign_modules(
+    table: SegmentCostTable,
+    current_module: int,
+    states: Sequence[Optional[DeviceState]],
+    enabled: bool = True,
+) -> List[int]:
+    """Return each client's last assigned module index M_k.
+
+    Without device information (``states[i] is None``) or with DMA disabled,
+    every client trains only the current module.
+    """
+    num_modules = len(table.partition)
+    base = [current_module] * len(states)
+    if not enabled or current_module >= num_modules - 1:
+        return base
+    known = [s for s in states if s is not None]
+    if not known:
+        return base
+    p_min = min(s.avail_perf_flops for s in known)
+    single_flops = table.cost(current_module, current_module).flops_fwd
+
+    assignment: List[int] = []
+    for s in states:
+        if s is None:
+            assignment.append(current_module)
+            continue
+        last = current_module
+        budget_flops = (s.avail_perf_flops / p_min) * single_flops
+        for candidate in range(current_module + 1, num_modules):
+            c = table.cost(current_module, candidate)
+            if c.mem_bytes > s.avail_mem_bytes:
+                break
+            if c.flops_fwd > budget_flops:
+                break
+            last = candidate
+        assignment.append(last)
+    return assignment

@@ -1,0 +1,128 @@
+"""Memory-constrained model partition (paper Algorithm 1, §6.1).
+
+Greedy packing: traverse the atom sequence, appending atoms to the current
+module while its training-memory requirement (including the auxiliary
+head) stays below ``R_min``; start a new module otherwise.  This yields the
+fewest modules under the constraint, as the paper argues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.hardware.memory import BYTES_PER_SCALAR, MemoryModel
+from repro.hardware.profile import profile_module
+from repro.models.atoms import CascadeModel
+
+
+def aux_head_bytes(head_in_dim: int, num_classes: int, mem: MemoryModel) -> int:
+    """Training memory of the auxiliary head θ_m (analytic).
+
+    ``head_in_dim`` is the head's linear-layer input width — the channel
+    count for pooled conv features (see :mod:`repro.core.heads`) or the
+    flat feature size otherwise.  The head holds ``D·K + K`` parameters
+    with gradients and optimizer state, plus per-batch pooled-feature and
+    logit activations.
+    """
+    params = head_in_dim * num_classes + num_classes
+    state = params * (2 + mem.optimizer_state_factor)
+    activations = mem.batch_size * (head_in_dim + num_classes)
+    return mem.bytes_per_scalar * (state + activations)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Atom-index ranges of each module: module m spans atoms [start, stop)."""
+
+    ranges: Tuple[Tuple[int, int], ...]
+
+    @property
+    def num_modules(self) -> int:
+        return len(self.ranges)
+
+    def __len__(self) -> int:
+        return len(self.ranges)
+
+    def __getitem__(self, m: int) -> Tuple[int, int]:
+        return self.ranges[m]
+
+    def module_of_atom(self, atom_idx: int) -> int:
+        for m, (start, stop) in enumerate(self.ranges):
+            if start <= atom_idx < stop:
+                return m
+        raise IndexError(f"atom {atom_idx} not covered by partition")
+
+
+def segment_mem_bytes(
+    model: CascadeModel,
+    start: int,
+    stop: int,
+    mem: MemoryModel,
+    include_head: bool = True,
+) -> int:
+    """Training-memory requirement of atoms [start, stop) plus aux head."""
+    seg = model.segment(start, stop)
+    in_shape = model.feature_shape(start - 1)
+    total = mem.bytes_for(seg, in_shape)
+    if include_head and stop < len(model.atoms):
+        from repro.core.heads import head_input_dim
+
+        total += aux_head_bytes(
+            head_input_dim(model.feature_shape(stop - 1)), model.num_classes, mem
+        )
+    return total
+
+
+def partition_model(
+    model: CascadeModel,
+    r_min_bytes: float,
+    mem: MemoryModel,
+) -> Partition:
+    """Algorithm 1: greedy memory-constrained partition.
+
+    An atom whose solo requirement already exceeds ``R_min`` still becomes
+    its own module (the algorithm appends it regardless); the caller can
+    detect this via :func:`segment_mem_bytes` if a hard guarantee is needed.
+    """
+    if r_min_bytes <= 0:
+        raise ValueError("r_min_bytes must be positive")
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    num_atoms = len(model.atoms)
+    for i in range(num_atoms):
+        if i == start:
+            continue  # a module always holds at least the atom that opened it
+        if segment_mem_bytes(model, start, i + 1, mem) >= r_min_bytes:
+            ranges.append((start, i))
+            start = i
+    ranges.append((start, num_atoms))
+    return Partition(ranges=tuple(ranges))
+
+
+def full_model_mem_bytes(model: CascadeModel, mem: MemoryModel) -> int:
+    """MemReq of end-to-end training (jFAT's requirement, R_max)."""
+    return mem.bytes_for(model, model.in_shape)
+
+
+def partition_summary(
+    model: CascadeModel, partition: Partition, mem: MemoryModel
+) -> List[dict]:
+    """Per-module rows matching paper Tables 7–8: layers, MemReq, FLOPs."""
+    rows = []
+    for m, (start, stop) in enumerate(partition.ranges):
+        seg = model.segment(start, stop)
+        in_shape = model.feature_shape(start - 1)
+        prof = profile_module(seg, in_shape)
+        rows.append(
+            {
+                "module": m + 1,
+                "atoms": [a.name for a in model.atoms[start:stop]],
+                "mem_bytes": segment_mem_bytes(model, start, stop, mem),
+                "flops_fwd": prof.flops,
+                "params": prof.params,
+            }
+        )
+    return rows

@@ -1,0 +1,349 @@
+"""FedProphet: the full server/client training loop (paper Algorithm 2).
+
+Per module m = 1..M, repeat communication rounds until convergence:
+
+1. the server adjusts ε_{m-1} via APA (m > 1),
+2. the server assigns each sampled client a module span via DMA,
+3. clients run adversarial cascade learning with strong-convexity
+   regularization on the span,
+4. the server partial-averages modules (Eq. 16) and heads (Eq. 17).
+
+When module m converges it is fixed; clients report max ‖Δz_m‖, which
+seeds ε_m for the next module's training stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.attacks import ModelWithLoss, PGDConfig, pgd_attack
+from repro.core.aggregator import (
+    aggregate_heads,
+    aggregate_modules,
+    extract_segment_state,
+)
+from repro.core.apa import AdaptivePerturbationAdjustment
+from repro.core.cascade import (
+    CascadeBatchSpec,
+    cascade_local_train,
+    measure_output_perturbation,
+)
+from repro.core.config import FedProphetConfig
+from repro.core.dma import SegmentCostTable, assign_modules
+from repro.core.partitioner import full_model_mem_bytes, partition_model
+from repro.flsim.base import FederatedExperiment, FLClient, RoundRecord
+from repro.hardware.devices import DeviceSampler, DeviceState
+from repro.hardware.flops import BACKWARD_MULTIPLIER
+from repro.hardware.latency import LatencyModel, LocalTrainingCost
+from repro.hardware.memory import MemoryModel
+from repro.hardware.profile import profile_module
+from repro.metrics.evaluation import EvalResult
+from repro.models.atoms import CascadeModel
+from repro.core.heads import AuxHead
+
+
+@dataclass
+class PerturbationLogEntry:
+    """One Figure-10 sample: the ε in force at a given global round."""
+
+    round: int
+    module: int
+    eps: float
+    eps_per_dim: float
+
+
+@dataclass
+class ModuleStageResult:
+    """Summary of one module's training stage."""
+
+    module: int
+    rounds: int
+    final_clean_acc: float
+    final_adv_acc: float
+    eps_star: float
+
+
+class FedProphet(FederatedExperiment):
+    """Memory-efficient FAT via robust and consistent cascade learning."""
+
+    name = "fedprophet"
+
+    def __init__(
+        self,
+        task,
+        model_builder: Callable[[np.random.Generator], CascadeModel],
+        config: FedProphetConfig,
+        device_sampler: Optional[DeviceSampler] = None,
+        latency_model: Optional[LatencyModel] = None,
+    ):
+        super().__init__(task, model_builder, config, device_sampler, latency_model)
+        self.config: FedProphetConfig = config
+        self.mem = MemoryModel(batch_size=config.batch_size)
+        self.r_max = full_model_mem_bytes(self.global_model, self.mem)
+        self.r_min = (
+            config.r_min_bytes
+            if config.r_min_bytes is not None
+            else config.r_min_fraction * self.r_max
+        )
+        self.partition = partition_model(self.global_model, self.r_min, self.mem)
+        self.cost_table = SegmentCostTable(self.global_model, self.partition, self.mem)
+
+        head_rng = np.random.default_rng(config.seed + 21)
+        num_atoms = len(self.global_model.atoms)
+        self.heads: List[Optional[AuxHead]] = []
+        for start, stop in self.partition.ranges:
+            if stop < num_atoms:
+                shape = self.global_model.feature_shape(stop - 1)
+                self.heads.append(AuxHead(shape, task.num_classes, rng=head_rng))
+            else:
+                self.heads.append(None)
+
+        self.apa = AdaptivePerturbationAdjustment(
+            gamma=config.gamma,
+            delta_alpha=config.delta_alpha,
+            alpha_init=config.alpha_init,
+            alpha_min=config.alpha_min,
+            alpha_max=config.alpha_max,
+            enabled=config.use_apa,
+        )
+        self.current_module = 0
+        self.eps_feature = 0.0  # ε_{m-1}; unused for module 0 (raw-input ℓ∞)
+        self.eps_star: List[float] = []  # fixed ε*_{m-1} per completed module
+        self.stage_results: List[ModuleStageResult] = []
+        self.pert_log: List[PerturbationLogEntry] = []
+
+        # Cumulative forward FLOPs of the fixed prefix before each atom.
+        self._prefix_flops = [0]
+        shape = self.global_model.in_shape
+        for atom in self.global_model.atoms:
+            prof = profile_module(atom.module, shape)
+            self._prefix_flops.append(self._prefix_flops[-1] + prof.flops)
+            shape = prof.out_shape
+
+        val_rng = np.random.default_rng(config.seed + 31)
+        n_val = min(config.val_samples, len(task.test))
+        idx = val_rng.choice(len(task.test), size=n_val, replace=False)
+        self.val_set = task.test.subset(idx)
+        self._val_rng = np.random.default_rng(config.seed + 37)
+
+    # -- validation of the cascaded prefix -----------------------------------
+    def cascade_eval(self, module_idx: int) -> EvalResult:
+        """Clean/adversarial accuracy of (w*_1 ∘ … ∘ w_m) with head θ_m."""
+        stop = self.partition[module_idx][1]
+        chain = self.global_model.segment(0, stop)
+        head = self.heads[module_idx]
+        self.global_model.eval()
+        mwl = ModelWithLoss(chain, head=head)
+        x, y = self.val_set.x, self.val_set.y
+        clean = float((mwl.logits(x).argmax(axis=1) == y).mean())
+        adv_x = pgd_attack(
+            mwl,
+            x,
+            y,
+            PGDConfig(eps=self.config.eps0, steps=self.config.val_pgd_steps, norm="linf"),
+            rng=self._val_rng,
+        )
+        adv = float((mwl.logits(adv_x).argmax(axis=1) == y).mean())
+        self.global_model.zero_grad()
+        if head is not None:
+            head.zero_grad()
+        return EvalResult(clean_acc=clean, pgd_acc=adv)
+
+    # -- one communication round -----------------------------------------------
+    def run_round(
+        self,
+        round_idx: int,
+        clients: List[FLClient],
+        states: List[Optional[DeviceState]],
+    ) -> List[LocalTrainingCost]:
+        m = self.current_module
+        cfg = self.config
+        assignments = assign_modules(self.cost_table, m, states, enabled=cfg.use_dma)
+        start_atom = self.partition[m][0]
+
+        global_state = self.global_model.state_dict()
+        head_states = [h.state_dict() if h is not None else None for h in self.heads]
+
+        seg_states, client_head_states, weights, costs = [], [], [], []
+        lr_t = self.lr_at(round_idx)
+        for client, dev_state, mk in zip(clients, states, assignments):
+            self.global_model.load_state_dict(global_state)
+            if self.heads[mk] is not None:
+                self.heads[mk].load_state_dict(head_states[mk])
+            stop_atom = self.partition[mk][1]
+            spec = CascadeBatchSpec(
+                start_atom=start_atom, stop_atom=stop_atom, head=self.heads[mk]
+            )
+            client_rng = np.random.default_rng(
+                cfg.seed * 1_000_003 + round_idx * 1009 + client.cid
+            )
+            cascade_local_train(
+                self.global_model,
+                spec,
+                client.dataset,
+                iterations=cfg.local_iters,
+                batch_size=cfg.batch_size,
+                lr=lr_t,
+                mu=cfg.mu,
+                eps0=cfg.eps0,
+                eps_feature=self.eps_feature,
+                attack_steps=cfg.attack_steps_features if m > 0 else cfg.train_pgd_steps,
+                momentum=cfg.momentum,
+                weight_decay=cfg.weight_decay,
+                rng=client_rng,
+            )
+            seg_states.append(extract_segment_state(self.global_model, start_atom, stop_atom))
+            client_head_states.append(
+                self.heads[mk].state_dict() if self.heads[mk] is not None else None
+            )
+            weights.append(client.num_samples / self.total_samples)
+            costs.append(self._client_cost(dev_state, m, mk))
+
+        # restore global snapshot, then apply aggregated updates
+        self.global_model.load_state_dict(global_state)
+        for h, s in zip(self.heads, head_states):
+            if h is not None and s is not None:
+                h.load_state_dict(s)
+        merged = aggregate_modules(
+            self.global_model, self.partition, m, seg_states, assignments, weights
+        )
+        if merged:
+            self.global_model.load_state_dict({**global_state, **merged})
+        aggregate_heads(self.heads, client_head_states, assignments, weights)
+        return costs
+
+    def _client_cost(
+        self, state: Optional[DeviceState], module_a: int, module_b: int
+    ) -> LocalTrainingCost:
+        """Latency of one client's round: prefix forward + PGD-AT on the span."""
+        if state is None:
+            return LocalTrainingCost(0.0, 0.0)
+        cfg = self.config
+        seg = self.cost_table.cost(module_a, module_b)
+        start_atom = self.partition[module_a][0]
+        prefix_fwd = self._prefix_flops[start_atom]
+        n_attack = cfg.attack_steps_features if module_a > 0 else cfg.train_pgd_steps
+        per_iter = cfg.batch_size * (
+            prefix_fwd + (n_attack + 1) * (1 + BACKWARD_MULTIPLIER) * seg.flops_fwd
+        )
+        return self.latency_model.local_training_cost(
+            state,
+            training_flops=per_iter,
+            mem_req_bytes=seg.mem_bytes,
+            iterations=cfg.local_iters,
+            pgd_steps=n_attack,
+        )
+
+    # -- the Algorithm 2 outer loop ----------------------------------------------
+    def run(self, rounds: Optional[int] = None, verbose: bool = False) -> List[RoundRecord]:
+        cfg = self.config
+        budget = rounds if rounds is not None else cfg.rounds
+        t = 0
+        num_modules = len(self.partition)
+        prev_clean, prev_adv = 1.0, 1.0  # ratio 1 before any module is fixed
+
+        for m in range(num_modules):
+            if t >= budget:
+                break
+            self.current_module = m
+            if m > 0:
+                base = self.eps_star[-1]
+                self.apa.start_module(base, prev_clean, prev_adv)
+                self.eps_feature = self.apa.epsilon
+            best_metric = -np.inf
+            stale = 0
+            last_eval = EvalResult(clean_acc=0.0, pgd_acc=0.0)
+            stage_rounds = 0
+
+            while stage_rounds < cfg.rounds_per_module and t < budget:
+                clients, states = self.sample_round(t)
+                round_costs = self.run_round(t, clients, states)
+                self.advance_clock(round_costs)
+
+                last_eval = self.cascade_eval(m)
+                if m > 0 and cfg.use_apa:
+                    self.eps_feature = self.apa.update(
+                        last_eval.clean_acc, last_eval.pgd_acc
+                    )
+                dim = self.global_model.feature_size(self.partition[m][0] - 1)
+                self.pert_log.append(
+                    PerturbationLogEntry(
+                        round=t,
+                        module=m,
+                        eps=self.eps_feature if m > 0 else cfg.eps0,
+                        eps_per_dim=(
+                            self.eps_feature / np.sqrt(dim) if m > 0 else cfg.eps0
+                        ),
+                    )
+                )
+                self.history.append(
+                    RoundRecord(
+                        round=t,
+                        sim_time_s=self.clock_s,
+                        compute_s=self.total_compute_s,
+                        access_s=self.total_access_s,
+                        eval=last_eval,
+                    )
+                )
+                if verbose:  # pragma: no cover - console reporting
+                    print(
+                        f"[fedprophet] module {m + 1}/{num_modules} round {t}: "
+                        f"clean={last_eval.clean_acc:.3f} adv={last_eval.pgd_acc:.3f} "
+                        f"eps={self.eps_feature:.3f}"
+                    )
+
+                metric = 0.5 * (last_eval.clean_acc + (last_eval.pgd_acc or 0.0))
+                if metric > best_metric + 1e-6:
+                    best_metric = metric
+                    stale = 0
+                else:
+                    stale += 1
+                stage_rounds += 1
+                t += 1
+                if stale >= cfg.patience:
+                    break
+
+            # Fix module m: record ε*, C*, A*; measure base magnitude for m+1.
+            prev_clean, prev_adv = last_eval.clean_acc, max(last_eval.pgd_acc or 0.0, 1e-3)
+            eps_star = self._collect_output_perturbation(m)
+            self.eps_star.append(eps_star)
+            self.stage_results.append(
+                ModuleStageResult(
+                    module=m,
+                    rounds=stage_rounds,
+                    final_clean_acc=last_eval.clean_acc,
+                    final_adv_acc=last_eval.pgd_acc or 0.0,
+                    eps_star=eps_star,
+                )
+            )
+        return self.history
+
+    def _collect_output_perturbation(self, module_idx: int) -> float:
+        """Average over sampled clients of max ‖Δz_m‖ (seeds ε_m, Eq. 11)."""
+        cfg = self.config
+        start, stop = self.partition[module_idx]
+        rng = np.random.default_rng(cfg.seed + 41 + module_idx)
+        ids = rng.choice(
+            cfg.num_clients, size=min(cfg.clients_per_round, cfg.num_clients), replace=False
+        )
+        values = []
+        for cid in ids:
+            values.append(
+                measure_output_perturbation(
+                    self.global_model,
+                    start,
+                    stop,
+                    self.heads[module_idx],
+                    self.clients[cid].dataset,
+                    mu=cfg.mu,
+                    eps0=cfg.eps0,
+                    eps_feature=self.eps_feature,
+                    attack_steps=max(1, cfg.attack_steps_features // 2),
+                    batch_size=cfg.batch_size,
+                    rng=rng,
+                )
+            )
+        return float(np.mean(values))

@@ -1,0 +1,75 @@
+"""Array-backed dataset and mini-batch loader."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ArrayDataset:
+    """A labelled array dataset: ``X`` of shape (N, ...) and integer ``y``."""
+
+    def __init__(self, x: np.ndarray, y: np.ndarray):
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if len(x) != len(y):
+            raise ValueError(f"length mismatch: {len(x)} inputs vs {len(y)} labels")
+        if y.ndim != 1:
+            raise ValueError("labels must be 1-D")
+        self.x = x
+        self.y = y
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def subset(self, indices: Sequence[int]) -> "ArrayDataset":
+        idx = np.asarray(indices)
+        return ArrayDataset(self.x[idx], self.y[idx])
+
+    def class_counts(self, num_classes: int) -> np.ndarray:
+        return np.bincount(self.y, minlength=num_classes)
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling.
+
+    Iterating yields ``(x_batch, y_batch)`` tuples.  With an explicit
+    ``rng``, shuffling order is reproducible; a fresh permutation is drawn
+    each epoch.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.dataset.x[idx], self.dataset.y[idx]
+
+    def infinite(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Endless batch stream (FL local steps count iterations, not epochs)."""
+        while True:
+            yield from self

@@ -1,0 +1,112 @@
+"""Federated data partitioners (statistical heterogeneity).
+
+The paper follows Shah et al. (2021): on each client, 80 % of the training
+data belongs to ~20 % of the classes ("major" classes) and 20 % to the
+rest.  We also provide IID and Dirichlet partitioners for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+def iid_partition(
+    labels: np.ndarray, num_clients: int, rng: Optional[np.random.Generator] = None
+) -> List[np.ndarray]:
+    """Uniform random split into ``num_clients`` near-equal shards."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
+    order = rng.permutation(len(labels))
+    return [np.sort(part) for part in np.array_split(order, num_clients)]
+
+
+def pathological_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    major_data_frac: float = 0.8,
+    major_class_frac: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """The paper's 80/20 split: most data from a few "major" classes.
+
+    Every client receives ``len(labels)/num_clients`` samples;
+    ``major_data_frac`` of them are drawn from that client's randomly
+    chosen ``major_class_frac`` of the classes, the rest uniformly from the
+    remaining classes.  Sampling is without replacement per class pool,
+    cycling through shuffled pools so every sample is assigned exactly once
+    whenever possible.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    labels = np.asarray(labels)
+    if not (0.0 < major_data_frac <= 1.0 and 0.0 < major_class_frac <= 1.0):
+        raise ValueError("fractions must be in (0, 1]")
+    num_classes = int(labels.max()) + 1
+    num_major = max(1, int(round(major_class_frac * num_classes)))
+    per_client = len(labels) // num_clients
+
+    # Shuffled per-class index pools consumed round-robin.
+    pools = [rng.permutation(np.where(labels == c)[0]).tolist() for c in range(num_classes)]
+
+    def take(classes: np.ndarray, count: int) -> List[int]:
+        out: List[int] = []
+        classes = list(classes)
+        attempts = 0
+        while len(out) < count and attempts < 10 * count:
+            c = classes[attempts % len(classes)]
+            if pools[c]:
+                out.append(pools[c].pop())
+            attempts += 1
+        if len(out) < count:
+            # fall back to any class with data left
+            for c in range(num_classes):
+                while pools[c] and len(out) < count:
+                    out.append(pools[c].pop())
+        return out
+
+    shards: List[np.ndarray] = []
+    for _ in range(num_clients):
+        major = rng.choice(num_classes, size=num_major, replace=False)
+        minor = np.setdiff1d(np.arange(num_classes), major)
+        n_major = int(round(major_data_frac * per_client))
+        idx = take(major, n_major) + take(minor, per_client - n_major)
+        shards.append(np.sort(np.asarray(idx, dtype=np.int64)))
+    return shards
+
+
+def dirichlet_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    alpha: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """Dirichlet(α) label-distribution split, the other common non-IID model."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    labels = np.asarray(labels)
+    num_classes = int(labels.max()) + 1
+    shards: List[List[int]] = [[] for _ in range(num_clients)]
+    for c in range(num_classes):
+        idx = rng.permutation(np.where(labels == c)[0])
+        props = rng.dirichlet(alpha * np.ones(num_clients))
+        cuts = (np.cumsum(props) * len(idx)).astype(int)[:-1]
+        for shard, part in zip(shards, np.split(idx, cuts)):
+            shard.extend(part.tolist())
+    return [np.sort(np.asarray(s, dtype=np.int64)) for s in shards]
+
+
+def public_private_split(
+    labels: np.ndarray,
+    public_frac: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Hold out a public subset (used by knowledge-distillation baselines)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if not (0.0 < public_frac < 1.0):
+        raise ValueError("public_frac must be in (0, 1)")
+    order = rng.permutation(len(labels))
+    n_pub = max(1, int(round(public_frac * len(labels))))
+    return np.sort(order[:n_pub]), np.sort(order[n_pub:])

@@ -1,0 +1,29 @@
+"""Federated-learning simulation engine.
+
+In-process FL (the paper's own evaluation style): a server state dict, a
+population of clients holding non-IID shards, per-round uniform client
+sampling, local SGD, and aggregation — plus a simulated wall clock driven
+by the :mod:`repro.hardware` latency model, which is what the training-time
+figures (Fig. 7, Table 4) measure.
+"""
+
+from repro.flsim.base import FLConfig, FLClient, RoundRecord, FederatedExperiment
+from repro.flsim.aggregation import fedavg, weighted_average_states, masked_partial_average
+from repro.flsim.local import adversarial_local_train, standard_local_train
+from repro.flsim.history import history_rows, export_csv, time_to_accuracy, best_round
+
+__all__ = [
+    "FLConfig",
+    "FLClient",
+    "RoundRecord",
+    "FederatedExperiment",
+    "fedavg",
+    "weighted_average_states",
+    "masked_partial_average",
+    "adversarial_local_train",
+    "standard_local_train",
+    "history_rows",
+    "export_csv",
+    "time_to_accuracy",
+    "best_round",
+]

@@ -1,0 +1,60 @@
+"""Server-side aggregation rules."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+StateDict = Dict[str, np.ndarray]
+
+
+def weighted_average_states(
+    states: Sequence[StateDict], weights: Sequence[float]
+) -> StateDict:
+    """Weighted elementwise average of state dicts with identical keys."""
+    if not states:
+        raise ValueError("need at least one state dict")
+    if len(states) != len(weights):
+        raise ValueError("states and weights length mismatch")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    out: StateDict = {}
+    for key in states[0]:
+        acc = np.zeros_like(states[0][key], dtype=np.float64)
+        for state, w in zip(states, weights):
+            acc += (w / total) * state[key]
+        out[key] = acc
+    return out
+
+
+def fedavg(states: Sequence[StateDict], num_samples: Sequence[int]) -> StateDict:
+    """FedAvg (McMahan et al., 2017): average weighted by local data size."""
+    return weighted_average_states(states, [float(n) for n in num_samples])
+
+
+def masked_partial_average(
+    global_state: StateDict,
+    updates: Sequence[Tuple[StateDict, StateDict, float]],
+) -> StateDict:
+    """Partial average for sub-model training (HeteroFL/FedRolex/FedProphet).
+
+    Each update is ``(scattered_state, mask, weight)`` where
+    ``scattered_state`` has the *global* shapes with zeros outside the
+    trained region and ``mask`` is 1 where the client actually trained.
+    Entries covered by no client keep their previous global value (Eq. 16).
+    """
+    out: StateDict = {}
+    for key, g in global_state.items():
+        num = np.zeros_like(g, dtype=np.float64)
+        den = np.zeros_like(g, dtype=np.float64)
+        for state, mask, w in updates:
+            if key in state:
+                num += w * state[key]
+                den += w * mask[key]
+        covered = den > 0
+        merged = g.astype(np.float64).copy()
+        merged[covered] = num[covered] / den[covered]
+        out[key] = merged
+    return out

@@ -1,0 +1,198 @@
+"""Shared federated-experiment scaffolding.
+
+Every algorithm (jFAT, the memory-efficient baselines, FedProphet) derives
+from :class:`FederatedExperiment`, which owns the pieces the paper keeps
+constant across methods: the non-IID client population, per-round client
+and device sampling, the simulated wall clock, learning-rate decay, and
+periodic evaluation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.data.partition import pathological_partition
+from repro.data.synthetic import SyntheticImageTask
+from repro.hardware.devices import DeviceSampler, DeviceState
+from repro.hardware.latency import LatencyModel, LocalTrainingCost
+from repro.metrics.evaluation import EvalResult, evaluate_model
+from repro.models.atoms import CascadeModel
+
+
+@dataclass
+class FLConfig:
+    """Hyperparameters shared by all federated algorithms (paper §B.4).
+
+    Defaults are the paper's values; experiments shrink ``rounds``,
+    ``num_clients``, and ``train_pgd_steps`` to NumPy-friendly scales.
+    """
+
+    num_clients: int = 100
+    clients_per_round: int = 10
+    local_iters: int = 30
+    batch_size: int = 64
+    lr: float = 0.005
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    lr_decay: float = 0.994
+    rounds: int = 500
+    train_pgd_steps: int = 10
+    eps0: float = 8.0 / 255.0
+    eval_pgd_steps: int = 20
+    eval_every: int = 10
+    eval_max_samples: int = 256
+    eval_with_autoattack: bool = False
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.clients_per_round > self.num_clients:
+            raise ValueError("clients_per_round cannot exceed num_clients")
+        if not (0 < self.lr_decay <= 1):
+            raise ValueError("lr_decay must be in (0, 1]")
+
+
+@dataclass
+class FLClient:
+    """One client: an id and its local shard."""
+
+    cid: int
+    dataset: ArrayDataset
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.dataset)
+
+
+@dataclass
+class RoundRecord:
+    """History entry: clock state and (optionally) accuracy at a round."""
+
+    round: int
+    sim_time_s: float
+    compute_s: float
+    access_s: float
+    eval: Optional[EvalResult] = None
+
+
+class FederatedExperiment(ABC):
+    """Base class running the communication-round loop on a simulated clock."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        task: SyntheticImageTask,
+        model_builder: Callable[[np.random.Generator], CascadeModel],
+        config: FLConfig,
+        device_sampler: Optional[DeviceSampler] = None,
+        latency_model: Optional[LatencyModel] = None,
+    ):
+        self.task = task
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self.model_builder = model_builder
+        self.global_model = model_builder(np.random.default_rng(config.seed + 7))
+        self.device_sampler = device_sampler
+        self.latency_model = latency_model if latency_model is not None else LatencyModel()
+
+        shards = pathological_partition(
+            task.train.y, config.num_clients, rng=np.random.default_rng(config.seed + 13)
+        )
+        self.clients = [
+            FLClient(cid=i, dataset=task.train.subset(idx)) for i, idx in enumerate(shards)
+        ]
+        self.total_samples = sum(c.num_samples for c in self.clients)
+
+        self.clock_s = 0.0
+        self.total_compute_s = 0.0
+        self.total_access_s = 0.0
+        self.history: List[RoundRecord] = []
+
+    # -- per-round helpers ---------------------------------------------------
+    def lr_at(self, round_idx: int) -> float:
+        return self.config.lr * (self.config.lr_decay**round_idx)
+
+    def sample_round(
+        self, round_idx: int
+    ) -> Tuple[List[FLClient], List[Optional[DeviceState]]]:
+        """Uniformly sample C participating clients and their device states."""
+        ids = self.rng.choice(
+            self.config.num_clients, size=self.config.clients_per_round, replace=False
+        )
+        selected = [self.clients[i] for i in ids]
+        if self.device_sampler is None:
+            states: List[Optional[DeviceState]] = [None] * len(selected)
+        else:
+            states = list(self.device_sampler.sample_many(len(selected), self.rng))
+        return selected, states
+
+    def advance_clock(self, costs: Sequence[LocalTrainingCost]) -> None:
+        """Synchronous FL: a round lasts as long as its slowest client."""
+        if not costs:
+            return
+        bottleneck = max(costs, key=lambda c: c.total_s)
+        self.clock_s += bottleneck.total_s
+        self.total_compute_s += bottleneck.compute_s
+        self.total_access_s += bottleneck.access_s
+
+    # -- main loop -------------------------------------------------------------
+    @abstractmethod
+    def run_round(
+        self,
+        round_idx: int,
+        clients: List[FLClient],
+        states: List[Optional[DeviceState]],
+    ) -> List[LocalTrainingCost]:
+        """Run one communication round; return per-client latency costs."""
+
+    def evaluate(self, max_samples: Optional[int] = None) -> EvalResult:
+        return evaluate_model(
+            self.global_model,
+            self.task.test,
+            eps=self.config.eps0,
+            pgd_steps=self.config.eval_pgd_steps,
+            with_autoattack=self.config.eval_with_autoattack,
+            max_samples=max_samples if max_samples is not None else self.config.eval_max_samples,
+            rng=np.random.default_rng(self.config.seed + 99),
+        )
+
+    def run(self, rounds: Optional[int] = None, verbose: bool = False) -> List[RoundRecord]:
+        rounds = rounds if rounds is not None else self.config.rounds
+        for t in range(rounds):
+            clients, states = self.sample_round(t)
+            costs = self.run_round(t, clients, states)
+            self.advance_clock(costs)
+            record = RoundRecord(
+                round=t,
+                sim_time_s=self.clock_s,
+                compute_s=self.total_compute_s,
+                access_s=self.total_access_s,
+            )
+            if self.config.eval_every and (t + 1) % self.config.eval_every == 0:
+                record.eval = self.evaluate()
+                if verbose:  # pragma: no cover - console reporting
+                    e = record.eval
+                    print(
+                        f"[{self.name}] round {t + 1}: clean={e.clean_acc:.3f} "
+                        f"pgd={e.pgd_acc if e.pgd_acc is None else round(e.pgd_acc, 3)} "
+                        f"time={self.clock_s:.1f}s"
+                    )
+            self.history.append(record)
+        return self.history
+
+    def final_eval(self, max_samples: Optional[int] = None) -> EvalResult:
+        """Full evaluation (with AutoAttack if configured) of the final model."""
+        return evaluate_model(
+            self.global_model,
+            self.task.test,
+            eps=self.config.eps0,
+            pgd_steps=self.config.eval_pgd_steps,
+            with_autoattack=True,
+            max_samples=max_samples,
+            rng=np.random.default_rng(self.config.seed + 999),
+        )

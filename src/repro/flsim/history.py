@@ -1,0 +1,79 @@
+"""Round-history utilities: tabulation, CSV export, convergence queries.
+
+The experiment classes record a :class:`~repro.flsim.base.RoundRecord` per
+communication round; these helpers turn that history into the artefacts
+the paper's figures are built from (accuracy-vs-round curves,
+time-to-accuracy, compute/access breakdowns).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List, Optional, Sequence
+
+from repro.flsim.base import RoundRecord
+
+_FIELDS = [
+    "round",
+    "sim_time_s",
+    "compute_s",
+    "access_s",
+    "clean_acc",
+    "pgd_acc",
+    "aa_acc",
+]
+
+
+def history_rows(history: Sequence[RoundRecord]) -> List[dict]:
+    """Flatten a round history into dict rows (None for missing evals)."""
+    rows = []
+    for rec in history:
+        rows.append(
+            {
+                "round": rec.round,
+                "sim_time_s": rec.sim_time_s,
+                "compute_s": rec.compute_s,
+                "access_s": rec.access_s,
+                "clean_acc": rec.eval.clean_acc if rec.eval else None,
+                "pgd_acc": rec.eval.pgd_acc if rec.eval else None,
+                "aa_acc": rec.eval.aa_acc if rec.eval else None,
+            }
+        )
+    return rows
+
+
+def export_csv(history: Sequence[RoundRecord], path: str) -> None:
+    """Write the history as a CSV with one row per round."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=_FIELDS)
+        writer.writeheader()
+        for row in history_rows(history):
+            writer.writerow(row)
+
+
+def time_to_accuracy(
+    history: Sequence[RoundRecord], target_clean_acc: float
+) -> Optional[float]:
+    """Simulated seconds until validation clean accuracy first reaches the
+    target, or None if it never does (the Fig. 7-style efficiency metric)."""
+    for rec in history:
+        if rec.eval is not None and rec.eval.clean_acc >= target_clean_acc:
+            return rec.sim_time_s
+    return None
+
+
+def best_round(history: Sequence[RoundRecord], metric: str = "pgd_acc") -> Optional[RoundRecord]:
+    """The round with the best recorded value of ``metric``."""
+    best: Optional[RoundRecord] = None
+    best_value = float("-inf")
+    for rec in history:
+        if rec.eval is None:
+            continue
+        value = getattr(rec.eval, metric)
+        if value is not None and value > best_value:
+            best_value = value
+            best = rec
+    return best

@@ -1,0 +1,78 @@
+"""Local training procedures shared by the FL algorithms."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks import ModelWithLoss, PGDConfig, pgd_attack
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.optim.sgd import SGD
+
+
+def _loader(dataset: ArrayDataset, batch_size: int, rng: np.random.Generator) -> DataLoader:
+    return DataLoader(dataset, batch_size=min(batch_size, len(dataset)), shuffle=True, rng=rng)
+
+
+def standard_local_train(
+    model: Module,
+    dataset: ArrayDataset,
+    iterations: int,
+    batch_size: int,
+    lr: float,
+    momentum: float = 0.9,
+    weight_decay: float = 1e-4,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """E iterations of plain local SGD; returns the mean training loss."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    model.train()
+    opt = SGD(model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
+    ce = CrossEntropyLoss()
+    losses = []
+    batches = _loader(dataset, batch_size, rng).infinite()
+    for _ in range(iterations):
+        x, y = next(batches)
+        opt.zero_grad()
+        loss = ce(model(x), y)
+        model.backward(ce.backward())
+        opt.step()
+        losses.append(loss)
+    return float(np.mean(losses)) if losses else 0.0
+
+
+def adversarial_local_train(
+    model: Module,
+    dataset: ArrayDataset,
+    iterations: int,
+    batch_size: int,
+    lr: float,
+    pgd: PGDConfig,
+    momentum: float = 0.9,
+    weight_decay: float = 1e-4,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """E iterations of PGD adversarial training (Madry et al., 2017).
+
+    Each iteration generates adversarial examples with the *current* model
+    (train mode, as is standard), then takes one SGD step on them.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    model.train()
+    opt = SGD(model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
+    ce = CrossEntropyLoss()
+    mwl = ModelWithLoss(model)
+    losses = []
+    batches = _loader(dataset, batch_size, rng).infinite()
+    for _ in range(iterations):
+        x, y = next(batches)
+        x_adv = pgd_attack(mwl, x, y, pgd, rng=rng)
+        opt.zero_grad()
+        loss = ce(model(x_adv), y)
+        model.backward(ce.backward())
+        opt.step()
+        losses.append(loss)
+    return float(np.mean(losses)) if losses else 0.0

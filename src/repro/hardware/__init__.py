@@ -1,0 +1,40 @@
+"""Edge-hardware simulation: device pools, memory accounting, latency.
+
+The paper evaluates on a simulated fleet of real edge devices (Tables 5–6)
+with a ZeRO-style memory-requirement estimator (Rajbhandari et al., 2020)
+and a latency model split into computation time (FLOPs / achievable
+performance) and data-access time (memory-swap traffic / storage I/O
+bandwidth).  This package reproduces all three, analytically, so the
+Figure 2/6/7 and Table 4 experiments run at the paper's full scale without
+any of the authors' hardware.
+"""
+
+from repro.hardware.profile import ModuleProfile, profile_module
+from repro.hardware.memory import mem_req_bytes, MemoryModel
+from repro.hardware.flops import forward_flops, training_flops_per_iteration
+from repro.hardware.devices import (
+    Device,
+    DeviceState,
+    DeviceSampler,
+    DEVICE_POOL_CIFAR10,
+    DEVICE_POOL_CALTECH256,
+    device_pool,
+)
+from repro.hardware.latency import LatencyModel, LocalTrainingCost
+
+__all__ = [
+    "ModuleProfile",
+    "profile_module",
+    "mem_req_bytes",
+    "MemoryModel",
+    "forward_flops",
+    "training_flops_per_iteration",
+    "Device",
+    "DeviceState",
+    "DeviceSampler",
+    "DEVICE_POOL_CIFAR10",
+    "DEVICE_POOL_CALTECH256",
+    "device_pool",
+    "LatencyModel",
+    "LocalTrainingCost",
+]

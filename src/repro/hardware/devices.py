@@ -1,0 +1,150 @@
+"""Edge-device pools and runtime resource sampling (paper Tables 5–6, §B.1).
+
+Each client, each round, is a device drawn from the pool with a runtime
+"degrading factor" modelling co-running applications (Tian et al., 2022):
+available memory = peak × U[0, 0.2], available performance = peak × U[0, 1].
+
+Two heterogeneity levels:
+
+* **balanced** — devices sampled uniformly;
+* **unbalanced** — weaker devices (less memory, lower performance) get
+  proportionally higher sampling probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+GB = 1024**3
+TFLOPS = 1e12
+
+
+@dataclass(frozen=True)
+class Device:
+    """Peak specs of one edge device."""
+
+    name: str
+    perf_tflops: float
+    mem_gb: float
+    io_gbps: float
+
+    @property
+    def perf_flops(self) -> float:
+        return self.perf_tflops * TFLOPS
+
+    @property
+    def mem_bytes(self) -> float:
+        return self.mem_gb * GB
+
+    @property
+    def io_bytes_per_s(self) -> float:
+        return self.io_gbps * GB
+
+
+# Paper Table 5: device pool for the CIFAR-10 workload.
+DEVICE_POOL_CIFAR10: List[Device] = [
+    Device("GTX 1650m", 3.1, 4, 16),
+    Device("TX2", 1.3, 4, 1.5),
+    Device("KCU1500", 0.2, 2, 2),
+    Device("VC709", 0.1, 2, 1.5),
+    Device("Radeon HD 6870", 2.7, 1, 16),
+    Device("Quadro M2200", 2.1, 4, 1.5),
+    Device("A12 GPU", 0.5, 4, 1.5),
+    Device("Geforce 750", 1.1, 1, 16),
+    Device("Grid K240q", 2.3, 1, 16),
+    Device("Radeon RX 6300m", 3.7, 2, 16),
+]
+
+# Paper Table 6: device pool for the Caltech-256 workload.
+DEVICE_POOL_CALTECH256: List[Device] = [
+    Device("Radeon RX 7600", 21.8, 8, 16),
+    Device("Radeon RX 6800", 16.2, 16, 16),
+    Device("Arc A770", 19.7, 16, 16),
+    Device("Quadro P5000", 5.3, 16, 1.5),
+    Device("RTX 3080m", 19.0, 8, 16),
+    Device("RTX 4090m", 33.0, 16, 16),
+    Device("A17 GPU", 2.1, 8, 1.5),
+    Device("GTX 1650m", 3.1, 4, 16),
+    Device("TX2", 1.3, 4, 1.5),
+    Device("P104 101", 8.6, 4, 16),
+]
+
+
+def device_pool(dataset: str) -> List[Device]:
+    """The paper's device pool for a dataset key."""
+    key = dataset.lower()
+    if key in ("cifar10", "cifar-10"):
+        return list(DEVICE_POOL_CIFAR10)
+    if key in ("caltech256", "caltech-256"):
+        return list(DEVICE_POOL_CALTECH256)
+    raise ValueError(f"no device pool for dataset {dataset!r}")
+
+
+@dataclass(frozen=True)
+class DeviceState:
+    """A device together with its degraded, real-time available resources."""
+
+    device: Device
+    avail_mem_bytes: float
+    avail_perf_flops: float
+
+    @property
+    def io_bytes_per_s(self) -> float:
+        return self.device.io_bytes_per_s
+
+
+class DeviceSampler:
+    """Draw per-round device states for sampled clients.
+
+    Parameters
+    ----------
+    pool:
+        Candidate devices.
+    heterogeneity:
+        ``"balanced"`` (uniform) or ``"unbalanced"`` (probability inversely
+        proportional to a device's memory×performance product, normalised).
+    mem_factor_range / perf_factor_range:
+        Runtime degrading-factor ranges (paper B.1 defaults).
+    """
+
+    def __init__(
+        self,
+        pool: Sequence[Device],
+        heterogeneity: str = "balanced",
+        mem_factor_range=(0.0, 0.2),
+        perf_factor_range=(0.0, 1.0),
+    ):
+        if not pool:
+            raise ValueError("device pool must not be empty")
+        if heterogeneity not in ("balanced", "unbalanced"):
+            raise ValueError(f"unknown heterogeneity {heterogeneity!r}")
+        self.pool = list(pool)
+        self.heterogeneity = heterogeneity
+        self.mem_factor_range = mem_factor_range
+        self.perf_factor_range = perf_factor_range
+        if heterogeneity == "balanced":
+            probs = np.ones(len(self.pool))
+        else:
+            strength = np.array([d.mem_gb * d.perf_tflops for d in self.pool])
+            probs = 1.0 / strength
+        self.probs = probs / probs.sum()
+
+    def sample(self, rng: np.random.Generator) -> DeviceState:
+        """One device with degraded real-time resources."""
+        device = self.pool[int(rng.choice(len(self.pool), p=self.probs))]
+        mem_f = rng.uniform(*self.mem_factor_range)
+        perf_f = rng.uniform(*self.perf_factor_range)
+        # Keep resources strictly positive so latency stays finite.
+        mem_f = max(mem_f, 1e-3)
+        perf_f = max(perf_f, 1e-3)
+        return DeviceState(
+            device=device,
+            avail_mem_bytes=device.mem_bytes * mem_f,
+            avail_perf_flops=device.perf_flops * perf_f,
+        )
+
+    def sample_many(self, count: int, rng: np.random.Generator) -> List[DeviceState]:
+        return [self.sample(rng) for _ in range(count)]

@@ -1,0 +1,41 @@
+"""Training-FLOPs estimation for the DMA constraint and the latency model.
+
+Convention: backward pass ≈ 2× forward FLOPs, so one SGD iteration costs
+``3 · F_fwd · B``.  PGD-n adversarial training adds n attack iterations,
+each a full forward+backward on the attacked segment:
+
+    FLOPs_iter = (n + 1) · 3 · F_fwd · B
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.hardware.profile import profile_module
+from repro.nn.module import Module
+
+BACKWARD_MULTIPLIER = 2.0
+
+
+def forward_flops(module: Module, in_shape: Tuple[int, ...]) -> int:
+    """Forward FLOPs for a single sample."""
+    return profile_module(module, in_shape).flops
+
+
+def training_flops_per_iteration(
+    module: Module,
+    in_shape: Tuple[int, ...],
+    batch_size: int,
+    pgd_steps: int = 0,
+) -> float:
+    """FLOPs of one local SGD iteration, optionally with PGD-n attack.
+
+    ``pgd_steps=0`` is standard training (one forward + one backward);
+    ``pgd_steps=n`` adds n forward+backward attack passes, matching the
+    paper's observation that AT multiplies the propagation count.
+    """
+    if pgd_steps < 0:
+        raise ValueError("pgd_steps must be non-negative")
+    fwd = forward_flops(module, in_shape) * batch_size
+    one_pass = fwd * (1.0 + BACKWARD_MULTIPLIER)
+    return (pgd_steps + 1) * one_pass

@@ -1,0 +1,87 @@
+"""Analytic local-training latency: computation + memory-swap data access.
+
+The paper's Figure 2/7 latency decomposes into
+
+* **computation time** — training FLOPs / achievable device performance;
+* **data-access time** — when the training working set exceeds available
+  memory, the excess must be streamed to/from external storage on *every*
+  forward and backward propagation.  PGD-n multiplies the propagation
+  count, which is exactly why memory swapping dominates FAT (Fig. 2).
+
+Traffic model: each propagation pass moves ``2 × (MemReq − R)`` bytes
+(offload + fetch of the excess working set).  One PGD-n training iteration
+performs ``2·(n+1)`` passes (n+1 forwards, n+1 backwards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.devices import DeviceState
+
+
+@dataclass(frozen=True)
+class LocalTrainingCost:
+    """Latency breakdown of one client's local training for a round."""
+
+    compute_s: float
+    access_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.access_s
+
+    def __add__(self, other: "LocalTrainingCost") -> "LocalTrainingCost":
+        return LocalTrainingCost(
+            self.compute_s + other.compute_s, self.access_s + other.access_s
+        )
+
+
+class LatencyModel:
+    """Turn (FLOPs, MemReq, device state) into a latency breakdown.
+
+    Parameters
+    ----------
+    swap_overhead:
+        Multiplier on raw swap traffic modelling software-driver management
+        overhead (the paper names driver overhead alongside raw bandwidth as
+        the source of data-access latency).
+    """
+
+    def __init__(self, swap_overhead: float = 2.0):
+        if swap_overhead < 1.0:
+            raise ValueError("swap_overhead must be >= 1")
+        self.swap_overhead = swap_overhead
+
+    def swap_traffic_bytes(
+        self, mem_req_bytes: float, avail_mem_bytes: float, passes: int
+    ) -> float:
+        """Bytes moved to/from storage across ``passes`` propagation passes."""
+        excess = max(0.0, mem_req_bytes - avail_mem_bytes)
+        if excess == 0.0:
+            return 0.0
+        return 2.0 * excess * passes * self.swap_overhead
+
+    def local_training_cost(
+        self,
+        state: DeviceState,
+        training_flops: float,
+        mem_req_bytes: float,
+        iterations: int,
+        pgd_steps: int,
+    ) -> LocalTrainingCost:
+        """Cost of ``iterations`` local steps of PGD-``pgd_steps`` training.
+
+        ``training_flops`` is per-iteration (already including the attack's
+        extra propagations, see
+        :func:`repro.hardware.flops.training_flops_per_iteration`).
+        """
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        compute = training_flops * iterations / state.avail_perf_flops
+        passes_per_iter = 2 * (pgd_steps + 1)  # forwards + backwards
+        traffic = self.swap_traffic_bytes(
+            mem_req_bytes, state.avail_mem_bytes, passes_per_iter * iterations
+        )
+        access = traffic / state.io_bytes_per_s
+        return LocalTrainingCost(compute_s=compute, access_s=access)

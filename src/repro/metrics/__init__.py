@@ -1,0 +1,11 @@
+"""Evaluation metrics: clean accuracy, PGD accuracy, AutoAttack accuracy."""
+
+from repro.metrics.evaluation import evaluate_model, EvalResult
+from repro.metrics.robustness import empirical_robustness_constant, output_perturbation
+
+__all__ = [
+    "evaluate_model",
+    "EvalResult",
+    "empirical_robustness_constant",
+    "output_perturbation",
+]

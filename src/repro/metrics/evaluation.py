@@ -1,0 +1,79 @@
+"""Model evaluation: clean / PGD-20 / AutoAttack accuracy (paper §7.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks import ModelWithLoss, PGDConfig, auto_attack_lite, pgd_attack
+from repro.data.dataset import ArrayDataset
+from repro.nn.module import Module
+
+
+@dataclass
+class EvalResult:
+    """Accuracy triple reported in the paper's tables."""
+
+    clean_acc: float
+    pgd_acc: Optional[float] = None
+    aa_acc: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        return {"clean_acc": self.clean_acc, "pgd_acc": self.pgd_acc, "aa_acc": self.aa_acc}
+
+
+def _batched_preds(mwl: ModelWithLoss, x: np.ndarray, batch: int) -> np.ndarray:
+    preds = []
+    for start in range(0, len(x), batch):
+        preds.append(mwl.logits(x[start : start + batch]).argmax(axis=1))
+    return np.concatenate(preds)
+
+
+def evaluate_model(
+    model: Module,
+    dataset: ArrayDataset,
+    eps: float = 8.0 / 255.0,
+    pgd_steps: int = 20,
+    with_autoattack: bool = False,
+    max_samples: Optional[int] = None,
+    batch_size: int = 128,
+    head: Optional[Module] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> EvalResult:
+    """Evaluate clean and adversarial accuracy on (a subset of) a dataset.
+
+    The model is put in eval mode (frozen BN statistics) as the paper's
+    test-time attacks require.  ``max_samples`` caps the evaluation set so
+    expensive attacks stay tractable in the simulator.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    model.eval()
+    x, y = dataset.x, dataset.y
+    if max_samples is not None and len(x) > max_samples:
+        idx = rng.choice(len(x), size=max_samples, replace=False)
+        x, y = x[idx], y[idx]
+    mwl = ModelWithLoss(model, head=head)
+
+    clean_acc = float((_batched_preds(mwl, x, batch_size) == y).mean())
+    pgd_acc = None
+    aa_acc = None
+    if eps > 0 and pgd_steps > 0:
+        correct = 0
+        for start in range(0, len(x), batch_size):
+            xb, yb = x[start : start + batch_size], y[start : start + batch_size]
+            adv = pgd_attack(
+                mwl, xb, yb, PGDConfig(eps=eps, steps=pgd_steps, norm="linf"), rng=rng
+            )
+            correct += int((mwl.logits(adv).argmax(axis=1) == yb).sum())
+        pgd_acc = correct / len(x)
+        if with_autoattack:
+            correct = 0
+            for start in range(0, len(x), batch_size):
+                xb, yb = x[start : start + batch_size], y[start : start + batch_size]
+                adv = auto_attack_lite(mwl, xb, yb, eps=eps, steps=pgd_steps, rng=rng)
+                correct += int((mwl.logits(adv).argmax(axis=1) == yb).sum())
+            aa_acc = correct / len(x)
+    model.zero_grad()
+    return EvalResult(clean_acc=clean_acc, pgd_acc=pgd_acc, aa_acc=aa_acc)

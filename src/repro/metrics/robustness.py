@@ -1,0 +1,55 @@
+"""Robustness measurements backing the paper's theory (Def. 1, Lemma 1).
+
+``output_perturbation`` measures ``max ||Δz_m||`` — the quantity APA
+averages across clients (Eq. 11) and Figure 8 plots against μ.
+``empirical_robustness_constant`` estimates the (ε, c) constant of Def. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.attacks import ModelWithLoss, PGDConfig, pgd_attack
+from repro.nn.module import Module
+
+
+def output_perturbation(
+    segment: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    attack_mwl: ModelWithLoss,
+    pgd: PGDConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Per-sample ‖z(x+δ) − z(x)‖₂ under a PGD-found δ.
+
+    ``attack_mwl`` defines the loss the attacker maximises (the module's
+    regularized early-exit loss); ``segment`` maps inputs to the feature
+    whose displacement we measure.  Both typically share the same
+    underlying module.
+    """
+    x_adv = pgd_attack(attack_mwl, x, y, pgd, rng=rng)
+    z = segment(x)
+    z_adv = segment(x_adv)
+    diff = (z_adv - z).reshape(len(x), -1)
+    return np.sqrt((diff**2).sum(axis=1))
+
+
+def empirical_robustness_constant(
+    mwl: ModelWithLoss,
+    x: np.ndarray,
+    y: np.ndarray,
+    pgd: PGDConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Estimate c in Def. 1: max over samples of l(x+δ) − l(x).
+
+    Uses per-sample losses before/after a PGD attack; the max over the
+    batch lower-bounds the true robust constant.
+    """
+    base = mwl.per_sample_losses(x, y)
+    x_adv = pgd_attack(mwl, x, y, pgd, rng=rng)
+    attacked = mwl.per_sample_losses(x_adv, y)
+    return float(np.max(attacked - base))

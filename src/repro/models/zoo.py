@@ -1,0 +1,64 @@
+"""Model registry and the per-dataset model families the baselines draw from.
+
+Knowledge-distillation FL (paper Appendix B.2) lets each client pick the
+largest model from a family that fits its memory:
+
+* CIFAR-10 family:   {CNN3, VGG11, VGG13, VGG16}
+* Caltech-256 family: {CNN4, ResNet10, ResNet18, ResNet34}
+
+``build_model`` is the single entry point the experiments use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.models.atoms import CascadeModel
+from repro.models.cnn import build_cnn
+from repro.models.resnet import build_resnet
+from repro.models.vgg import build_vgg
+from repro.nn.normalization import BatchNorm2d
+
+
+def build_model(
+    name: str,
+    num_classes: int,
+    in_shape: Tuple[int, int, int],
+    width_mult: float = 1.0,
+    rng: np.random.Generator | None = None,
+    bn_cls=BatchNorm2d,
+) -> CascadeModel:
+    """Build any registered architecture by name."""
+    name = name.lower()
+    if name.startswith("vgg"):
+        return build_vgg(
+            name, num_classes=num_classes, in_shape=in_shape,
+            width_mult=width_mult, rng=rng, bn_cls=bn_cls,
+        )
+    if name.startswith("resnet"):
+        return build_resnet(
+            name, num_classes=num_classes, in_shape=in_shape,
+            width_mult=width_mult, rng=rng, bn_cls=bn_cls,
+        )
+    if name.startswith("cnn"):
+        return build_cnn(
+            int(name[3:]), num_classes=num_classes, in_shape=in_shape,
+            width_mult=width_mult, rng=rng, bn_cls=bn_cls,
+        )
+    raise ValueError(f"unknown model {name!r}")
+
+
+# Smallest-to-largest families used by knowledge-distillation baselines.
+MODEL_FAMILIES: Dict[str, List[str]] = {
+    "cifar10": ["cnn3", "vgg11", "vgg13", "vgg16"],
+    "caltech256": ["cnn4", "resnet10", "resnet18", "resnet34"],
+}
+
+
+def model_family(dataset: str) -> List[str]:
+    """Model family (smallest first) for a dataset key."""
+    if dataset not in MODEL_FAMILIES:
+        raise ValueError(f"no model family for dataset {dataset!r}")
+    return list(MODEL_FAMILIES[dataset])

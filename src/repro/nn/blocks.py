@@ -1,0 +1,91 @@
+"""Composite blocks: Conv-BN-ReLU and the ResNet basic residual block.
+
+These are the "atoms" of the paper's model partitioner (Algorithm 1): a
+VGG atom is a single (conv, activation) layer, a ResNet atom is a whole
+``BasicBlock`` because the skip connection cannot be cut.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import ReLU
+from repro.nn.conv import Conv2d
+from repro.nn.module import Identity, Module, Sequential
+from repro.nn.normalization import BatchNorm2d
+
+
+class ConvBNReLU(Module):
+    """conv -> batchnorm -> relu, the unit layer of our VGG variants."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        batch_norm: bool = True,
+        rng: np.random.Generator | None = None,
+        bn_cls=BatchNorm2d,
+    ):
+        super().__init__()
+        self.conv = Conv2d(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            bias=not batch_norm,
+            rng=rng,
+        )
+        self.bn = bn_cls(out_channels) if batch_norm else Identity()
+        self.act = ReLU()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.act(self.bn(self.conv(x)))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.conv.backward(self.bn.backward(self.act.backward(grad_out)))
+
+
+class BasicBlock(Module):
+    """ResNet v1 basic block: two 3x3 convs with an additive skip path."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+        bn_cls=BatchNorm2d,
+    ):
+        super().__init__()
+        self.conv1 = Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn1 = bn_cls(out_channels)
+        self.act1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = bn_cls(out_channels)
+        self.act2 = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                bn_cls(out_channels),
+            )
+        else:
+            self.downsample = Identity()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = self.bn2(self.conv2(self.act1(self.bn1(self.conv1(x)))))
+        skip = self.downsample(x)
+        return self.act2(main + skip)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.act2.backward(grad_out)
+        g_main = self.conv1.backward(
+            self.bn1.backward(self.act1.backward(self.conv2.backward(self.bn2.backward(g))))
+        )
+        g_skip = self.downsample.backward(g)
+        return g_main + g_skip

@@ -1,0 +1,77 @@
+"""2-D convolution implemented via im2col."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import col2im, im2col
+from repro.nn.init import kaiming_normal
+from repro.nn.module import Module, Parameter
+
+
+class Conv2d(Module):
+    """NCHW convolution with square kernels.
+
+    Forward unfolds the input with :func:`im2col` and reduces the kernel to a
+    single matmul per batch; backward reuses the cached columns for the
+    weight gradient and folds the input gradient back with ``col2im``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            kaiming_normal(
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in=fan_in,
+                rng=rng,
+            )
+        )
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(np.zeros(out_channels))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d({self.in_channels}->{self.out_channels}) got input "
+                f"shape {x.shape}"
+            )
+        k, s, p = self.kernel_size, self.stride, self.padding
+        cols, out_h, out_w = im2col(x, k, k, s, p)
+        self._cols = cols
+        self._x_shape = x.shape
+        w2d = self.weight.data.reshape(self.out_channels, -1)
+        # (N, C_out, L) = (C_out, CKK) @ (N, CKK, L), batched over N
+        out = np.matmul(w2d, cols)
+        if self.use_bias:
+            out = out + self.bias.data[None, :, None]
+        return out.reshape(x.shape[0], self.out_channels, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n = grad_out.shape[0]
+        g2d = grad_out.reshape(n, self.out_channels, -1)
+        w2d = self.weight.data.reshape(self.out_channels, -1)
+        # (C_out, CKK): contract batch and spatial axes in one shot
+        grad_w = np.tensordot(g2d, self._cols, axes=([0, 2], [0, 2]))
+        self.weight.grad += grad_w.reshape(self.weight.data.shape)
+        if self.use_bias:
+            self.bias.grad += g2d.sum(axis=(0, 2))
+        grad_cols = np.matmul(w2d.T, g2d)
+        k, s, p = self.kernel_size, self.stride, self.padding
+        return col2im(grad_cols, self._x_shape, k, k, s, p)

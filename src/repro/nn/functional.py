@@ -1,0 +1,82 @@
+"""Array primitives shared by the NN layers: im2col/col2im and friends."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution/pooling window sweep."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size for input={size}, kernel={kernel}, "
+            f"stride={stride}, pad={pad}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold an NCHW tensor into column form.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N, C * kh * kw, out_h * out_w)``.  Uses stride tricks to build the
+    sliding windows without Python loops; the final ``reshape`` materialises
+    a contiguous copy.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kh, stride, pad)
+    out_w = conv_output_size(w, kw, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, out_h, out_w),
+        strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
+        writeable=False,
+    )
+    cols = windows.reshape(n, c * kh * kw, out_h * out_w)
+    return cols, out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold column-form gradients back into an NCHW tensor (im2col adjoint).
+
+    Overlapping windows accumulate, which is exactly the sum of gradient
+    contributions each input pixel receives.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kh, stride, pad)
+    out_w = conv_output_size(w, kw, stride, pad)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    xp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            xp[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+    if pad > 0:
+        return xp[:, :, pad : pad + h, pad : pad + w]
+    return xp
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
+    """Dense one-hot encoding of an integer label vector."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError("labels must be a 1-D integer array")
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

@@ -1,0 +1,22 @@
+"""Weight initialisers (He/Kaiming and Xavier/Glorot)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_normal(
+    shape, fan_in: int, rng: np.random.Generator, gain: float = np.sqrt(2.0)
+) -> np.ndarray:
+    """He-normal initialisation: std = gain / sqrt(fan_in).
+
+    The default gain targets ReLU networks, which is all this repo trains.
+    """
+    std = gain / np.sqrt(float(fan_in))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialisation for linear output heads."""
+    limit = np.sqrt(6.0 / float(fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)

@@ -1,0 +1,56 @@
+"""Dense layer and flattening."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import kaiming_normal
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x @ W.T + b`` with He init."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            kaiming_normal((out_features, in_features), fan_in=in_features, rng=rng)
+        )
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(np.zeros(out_features))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"Linear expects 2-D input, got shape {x.shape}")
+        self._x = x
+        out = x @ self.weight.data.T
+        if self.use_bias:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        self.weight.grad += grad_out.T @ self._x
+        if self.use_bias:
+            self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.data
+
+
+class Flatten(Module):
+    """Collapse all non-batch dimensions."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._shape)

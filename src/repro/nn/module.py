@@ -1,0 +1,216 @@
+"""Base classes for the NumPy NN library: Parameter, Module, Sequential.
+
+The design deliberately mirrors a tiny subset of ``torch.nn``: modules own
+named parameters and buffers, compose into trees, and expose
+``state_dict``/``load_state_dict`` so the federated-learning aggregators can
+operate on flat name->array mappings.  Unlike torch there is no autograd
+tape: each module implements an explicit ``backward`` that consumes the
+gradient of the loss w.r.t. its output and returns the gradient w.r.t. its
+input, accumulating parameter gradients along the way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor together with its accumulated gradient."""
+
+    __slots__ = ("data", "grad")
+
+    def __init__(self, data: np.ndarray):
+        self.data = np.asarray(data)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(shape={self.data.shape}, dtype={self.data.dtype})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses register parameters/buffers/children simply by assigning them
+    as attributes; ``__setattr__`` sorts them into the right registry.  The
+    contract is:
+
+    * ``forward(x)`` caches whatever the backward pass needs and returns the
+      output,
+    * ``backward(grad_out)`` accumulates parameter gradients (into
+      ``Parameter.grad``) and returns the gradient w.r.t. the forward input.
+
+    ``backward`` must be called at most once per ``forward`` (caches are
+    single-slot), which is all the training loops in this repo need.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_params", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "_children", {})
+        object.__setattr__(self, "training", True)
+
+    # -- attribute routing ------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._params[name] = value
+        elif isinstance(value, Module):
+            self._children[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable tensor (e.g. BN running statistics)."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # -- interface ---------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- traversal ---------------------------------------------------------
+    def children(self) -> Iterator["Module"]:
+        return iter(self._children.values())
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._children.values():
+            yield from child.modules()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, p in self._params.items():
+            yield prefix + name, p
+        for cname, child in self._children.items():
+            yield from child.named_parameters(prefix + cname + ".")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            yield prefix + name, self._buffers[name]
+        for cname, child in self._children.items():
+            yield from child.named_buffers(prefix + cname + ".")
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- modes & grads -----------------------------------------------------
+    def train(self) -> "Module":
+        for m in self.modules():
+            object.__setattr__(m, "training", True)
+        return self
+
+    def eval(self) -> "Module":
+        for m in self.modules():
+            object.__setattr__(m, "training", False)
+        return self
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- (de)serialization ---------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat name -> array copy of all parameters and buffers."""
+        out: Dict[str, np.ndarray] = {}
+        for name, p in self.named_parameters():
+            out[name] = p.data.copy()
+        for name, b in self.named_buffers():
+            out[name] = b.copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        param_index = dict(self.named_parameters())
+        missing = []
+        for name, p in param_index.items():
+            if name in state:
+                p.data[...] = state[name]
+            elif strict:
+                missing.append(name)
+        buffer_owners = self._buffer_owners()
+        for name, (owner, local) in buffer_owners.items():
+            if name in state:
+                owner.set_buffer(local, state[name].copy())
+            elif strict:
+                missing.append(name)
+        if missing:
+            raise KeyError(f"state dict missing keys: {missing}")
+
+    def _buffer_owners(self, prefix: str = "") -> Dict[str, Tuple["Module", str]]:
+        out: Dict[str, Tuple[Module, str]] = {}
+        for name in self._buffers:
+            out[prefix + name] = (self, name)
+        for cname, child in self._children.items():
+            out.update(child._buffer_owners(prefix + cname + "."))
+        return out
+
+
+class Identity(Module):
+    """Pass-through layer (used for absent residual downsample paths)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+class Sequential(Module):
+    """Ordered composition of modules, with chained backward."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers: List[Module] = []
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+            self.layers.append(layer)
+
+    def append(self, layer: Module) -> None:
+        idx = len(self.layers)
+        setattr(self, f"layer{idx}", layer)
+        self.layers.append(layer)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx) -> Module:
+        if isinstance(idx, slice):
+            return Sequential(*self.layers[idx])
+        return self.layers[idx]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out

@@ -1,0 +1,114 @@
+"""Batch normalization, including the dual-statistics variant FedRBN needs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Standard NCHW batch normalization with running statistics.
+
+    In training mode the layer normalises with batch statistics and updates
+    exponential running averages; in eval mode it uses the running averages.
+    The backward pass in eval mode treats the statistics as constants (which
+    is what PGD attacks against a frozen model require).
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    # Subclasses (DualBatchNorm2d) redirect these to one of two stat banks.
+    def _get_running(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.running_mean, self.running_var
+
+    def _set_running(self, mean: np.ndarray, var: np.ndarray) -> None:
+        self.set_buffer("running_mean", mean)
+        self.set_buffer("running_var", var)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(f"BatchNorm2d({self.num_features}) got shape {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            r_mean, r_var = self._get_running()
+            m = self.momentum
+            self._set_running(
+                (1 - m) * r_mean + m * mean,
+                (1 - m) * r_var + m * var,
+            )
+            self._batch_stats = True
+        else:
+            mean, var = self._get_running()
+            self._batch_stats = False
+        self._inv_std = 1.0 / np.sqrt(var + self.eps)
+        self._x_hat = (x - mean[None, :, None, None]) * self._inv_std[None, :, None, None]
+        return (
+            self.weight.data[None, :, None, None] * self._x_hat
+            + self.bias.data[None, :, None, None]
+        )
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, _, h, w = grad_out.shape
+        count = n * h * w
+        self.weight.grad += (grad_out * self._x_hat).sum(axis=(0, 2, 3))
+        self.bias.grad += grad_out.sum(axis=(0, 2, 3))
+        g_xhat = grad_out * self.weight.data[None, :, None, None]
+        inv_std = self._inv_std[None, :, None, None]
+        if not self._batch_stats:
+            # Eval mode: statistics are constants.
+            return g_xhat * inv_std
+        sum_g = g_xhat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_gx = (g_xhat * self._x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        return (inv_std / count) * (
+            count * g_xhat - sum_g - self._x_hat * sum_gx
+        )
+
+
+class DualBatchNorm2d(BatchNorm2d):
+    """BatchNorm with separate clean/adversarial running statistics.
+
+    FedRBN (Hong et al., 2023) propagates robustness between clients by
+    sharing the *adversarial* BN statistics of adversarially-training
+    clients with standard-training clients.  This layer keeps two banks of
+    running statistics and a switch selecting which bank forward passes in
+    eval mode use (training mode updates the active bank).
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__(num_features, momentum=momentum, eps=eps)
+        self.register_buffer("running_mean_adv", np.zeros(num_features))
+        self.register_buffer("running_var_adv", np.ones(num_features))
+        self.adversarial_mode = False
+
+    def set_mode(self, adversarial: bool) -> None:
+        object.__setattr__(self, "adversarial_mode", bool(adversarial))
+
+    def _get_running(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.adversarial_mode:
+            return self.running_mean_adv, self.running_var_adv
+        return self.running_mean, self.running_var
+
+    def _set_running(self, mean: np.ndarray, var: np.ndarray) -> None:
+        if self.adversarial_mode:
+            self.set_buffer("running_mean_adv", mean)
+            self.set_buffer("running_var_adv", var)
+        else:
+            self.set_buffer("running_mean", mean)
+            self.set_buffer("running_var", var)
+
+
+def set_dual_bn_mode(model: Module, adversarial: bool) -> None:
+    """Switch every DualBatchNorm2d in ``model`` to clean/adversarial stats."""
+    for m in model.modules():
+        if isinstance(m, DualBatchNorm2d):
+            m.set_mode(adversarial)

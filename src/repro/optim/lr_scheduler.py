@@ -1,0 +1,29 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+from repro.optim.sgd import SGD
+
+
+class ExponentialDecay:
+    """Per-round exponential decay ``lr_t = gamma**t * lr_0`` (paper B.4)."""
+
+    def __init__(self, optimizer: SGD, gamma: float = 0.994):
+        if not (0.0 < gamma <= 1.0):
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.round = 0
+
+    def step(self) -> float:
+        """Advance one communication round and return the new lr."""
+        self.round += 1
+        self.optimizer.lr = self.base_lr * (self.gamma**self.round)
+        return self.optimizer.lr
+
+    def set_round(self, t: int) -> float:
+        """Jump to round ``t`` (used when a fresh optimizer resumes mid-run)."""
+        self.round = t
+        self.optimizer.lr = self.base_lr * (self.gamma**t)
+        return self.optimizer.lr

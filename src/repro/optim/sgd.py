@@ -1,0 +1,59 @@
+"""SGD with momentum and weight decay — the paper's local optimizer."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent.
+
+    Matches the torch semantics the paper's hyperparameters assume:
+    ``v <- momentum * v + (grad + weight_decay * w)`` then
+    ``w <- w - lr * v``.  The momentum buffers are the optimizer state that
+    the hardware memory model accounts for (one extra copy of the weights).
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+    def state_size(self) -> int:
+        """Number of scalars of optimizer state (for memory accounting)."""
+        return sum(v.size for v in self._velocity) if self.momentum else 0

@@ -1,0 +1,18 @@
+"""Deterministic RNG stream management."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """A fresh PCG64 generator for a given seed."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> List[np.random.Generator]:
+    """Independent child generators (one per client/worker) from one seed."""
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

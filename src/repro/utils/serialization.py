@@ -1,0 +1,38 @@
+"""Checkpointing: save/load model state dicts as .npz archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(path: str, state: Dict[str, np.ndarray]) -> None:
+    """Write a state dict to a compressed .npz archive.
+
+    Keys containing dots are legal npz member names, so the flat
+    name -> array mapping round-trips untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state`."""
+    with np.load(path) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def save_model(path: str, model: Module) -> None:
+    """Checkpoint a model's parameters and buffers."""
+    save_state(path, model.state_dict())
+
+
+def load_model(path: str, model: Module) -> Module:
+    """Restore a checkpoint into an already-constructed model (in place)."""
+    model.load_state_dict(load_state(path))
+    return model

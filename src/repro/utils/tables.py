@@ -1,0 +1,36 @@
+"""Plain-text table formatting for benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table (benchmarks print these)."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

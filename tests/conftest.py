@@ -1,0 +1,17 @@
+"""Shared pytest configuration for the unit-test suite."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_warnings():
+    """Overflow in the extreme-logit stability tests is expected; everything
+    else should surface."""
+    with warnings.catch_warnings():
+        warnings.filterwarnings(
+            "ignore", message="overflow encountered in subtract", category=RuntimeWarning
+        )
+        yield

@@ -1,0 +1,201 @@
+"""Smoke + behaviour tests for all seven baseline algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FedDFAT,
+    FedDropAT,
+    FedETAT,
+    FedRBN,
+    FedRolexAT,
+    HeteroFLAT,
+    JointFAT,
+)
+from repro.baselines.distill import (
+    distill,
+    ensemble_soft_targets,
+    soft_cross_entropy,
+    soft_cross_entropy_grad,
+)
+from repro.data import make_cifar10_like
+from repro.flsim import FLConfig
+from repro.hardware import DEVICE_POOL_CIFAR10, DeviceSampler
+from repro.models import build_cnn, build_vgg
+from repro.nn import DualBatchNorm2d
+from repro.nn.normalization import set_dual_bn_mode
+
+SHAPE = (3, 8, 8)
+
+
+def _task():
+    return make_cifar10_like(image_size=8, train_per_class=20, test_per_class=8, seed=0)
+
+
+def _cfg(**overrides):
+    defaults = dict(
+        num_clients=6, clients_per_round=3, local_iters=2, batch_size=8,
+        lr=0.02, rounds=2, train_pgd_steps=2, eval_pgd_steps=2,
+        eval_every=0, eval_max_samples=30, seed=0,
+    )
+    defaults.update(overrides)
+    return FLConfig(**defaults)
+
+
+def _builder(rng):
+    return build_vgg("vgg11", 10, SHAPE, width_mult=0.25, rng=rng)
+
+
+def _dual_builder(rng):
+    return build_vgg("vgg11", 10, SHAPE, width_mult=0.25, rng=rng, bn_cls=DualBatchNorm2d)
+
+
+def _families():
+    return {
+        "cnn2": lambda rng: build_cnn(2, 10, SHAPE, base_channels=4, rng=rng),
+        "vgg11": _builder,
+    }
+
+
+SAMPLER = DeviceSampler(DEVICE_POOL_CIFAR10, "balanced")
+
+
+class TestDistillation:
+    def test_soft_ce_matches_hard_ce_on_onehot(self):
+        from repro.nn import CrossEntropyLoss
+        from repro.nn.functional import one_hot
+
+        logits = np.random.default_rng(0).normal(size=(4, 5))
+        y = np.array([0, 2, 4, 1])
+        assert soft_cross_entropy(logits, one_hot(y, 5)) == pytest.approx(
+            CrossEntropyLoss()(logits, y)
+        )
+
+    def test_soft_ce_grad_numeric(self):
+        from tests.helpers import numerical_grad
+
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 4))
+        targets = np.abs(rng.normal(size=(3, 4)))
+        targets /= targets.sum(axis=1, keepdims=True)
+        analytic = soft_cross_entropy_grad(logits, targets)
+        numeric = numerical_grad(lambda: soft_cross_entropy(logits, targets), logits)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_ensemble_targets_are_distributions(self):
+        rng = np.random.default_rng(2)
+        teachers = [build_cnn(1, 5, SHAPE, base_channels=4, rng=rng) for _ in range(3)]
+        x = rng.uniform(size=(4,) + SHAPE)
+        for cw in (False, True):
+            t = ensemble_soft_targets(teachers, x, confidence_weighted=cw)
+            np.testing.assert_allclose(t.sum(axis=1), np.ones(4))
+            assert np.all(t >= 0)
+
+    def test_distill_moves_student_toward_teacher(self):
+        rng = np.random.default_rng(3)
+        teacher = build_cnn(1, 5, SHAPE, base_channels=4, rng=rng)
+        student = build_cnn(1, 5, SHAPE, base_channels=4, rng=np.random.default_rng(4))
+        task = _task()
+        public = task.train.subset(np.arange(40))
+        before = distill(student, [teacher], public, iterations=1, batch_size=16, lr=0.1)
+        after = distill(student, [teacher], public, iterations=20, batch_size=16, lr=0.1)
+        assert after < before
+
+
+def _run(exp):
+    exp.run()
+    res = exp.evaluate(max_samples=20)
+    assert 0.0 <= res.clean_acc <= 1.0
+    assert 0.0 <= res.pgd_acc <= 1.0
+    return res
+
+
+class TestJointFAT:
+    def test_runs_and_updates_global(self):
+        exp = JointFAT(_task(), _builder, _cfg(), device_sampler=SAMPLER)
+        before = exp.global_model.state_dict()
+        _run(exp)
+        after = exp.global_model.state_dict()
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+
+    def test_swapping_incurred_when_memory_short(self):
+        exp = JointFAT(_task(), _builder, _cfg(), device_sampler=SAMPLER)
+        exp.run()
+        # VGG11 at this scale still exceeds 20%-degraded device memory
+        # occasionally; total access time accumulates only via swapping.
+        assert exp.clock_s > 0
+
+
+@pytest.mark.parametrize("cls", [HeteroFLAT, FedDropAT, FedRolexAT])
+class TestPartialTraining:
+    def test_runs(self, cls):
+        exp = cls(_task(), _builder, _cfg(), device_sampler=SAMPLER)
+        _run(exp)
+
+    def test_client_ratio_clipped(self, cls):
+        exp = cls(_task(), _builder, _cfg(), device_sampler=SAMPLER)
+        state = SAMPLER.sample(np.random.default_rng(0))
+        r = exp.client_ratio(state)
+        assert exp.min_ratio <= r <= 1.0
+        assert exp.client_ratio(None) == 1.0
+
+
+class TestKnowledgeDistillation:
+    def test_feddf_runs(self):
+        exp = FedDFAT(
+            _task(), _families(), _cfg(), device_sampler=SAMPLER, distill_iters=2
+        )
+        _run(exp)
+
+    def test_fedet_runs(self):
+        exp = FedETAT(
+            _task(), _families(), _cfg(), device_sampler=SAMPLER, distill_iters=2
+        )
+        _run(exp)
+
+    def test_architecture_pick_respects_memory(self):
+        exp = FedDFAT(
+            _task(), _families(), _cfg(), device_sampler=SAMPLER, distill_iters=2
+        )
+        # a state with tiny memory must pick the smallest family member
+        from repro.hardware.devices import Device, DeviceState
+
+        poor = DeviceState(Device("p", 1.0, 1, 1), avail_mem_bytes=1.0, avail_perf_flops=1e9)
+        assert exp.pick_architecture(poor) == "cnn2"
+        assert exp.pick_architecture(None) == "vgg11"
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError):
+            FedDFAT(_task(), {}, _cfg())
+
+
+class TestFedRBN:
+    def test_requires_dual_bn(self):
+        with pytest.raises(ValueError):
+            FedRBN(_task(), _builder, _cfg())
+
+    def test_runs_with_dual_bn(self):
+        exp = FedRBN(_task(), _dual_builder, _cfg(), device_sampler=SAMPLER)
+        _run(exp)
+
+    def test_adv_stats_differ_from_clean_after_training(self):
+        exp = FedRBN(_task(), _dual_builder, _cfg(rounds=2))
+        exp.run()  # no device sampler -> every client affords AT
+        model = exp.global_model
+        diffs = []
+        for name, buf in model.named_buffers():
+            if name.endswith("running_mean_adv"):
+                clean = dict(model.named_buffers())[name.replace("_adv", "")]
+                diffs.append(np.abs(buf - clean).sum())
+        assert sum(diffs) > 0
+
+    def test_mode_switch(self):
+        model = _dual_builder(np.random.default_rng(0))
+        set_dual_bn_mode(model, True)
+        assert all(
+            m.adversarial_mode for m in model.modules() if isinstance(m, DualBatchNorm2d)
+        )
+        set_dual_bn_mode(model, False)
+        assert all(
+            not m.adversarial_mode for m in model.modules() if isinstance(m, DualBatchNorm2d)
+        )

@@ -1,0 +1,91 @@
+"""Coverage semantics distinguishing the partial-training strategies.
+
+HeteroFL's static slices never touch the tail channels; FedRolex's rolling
+window provably covers every channel across a full cycle; FedDropout
+covers everything in expectation.  These are the mechanisms behind their
+different Table 2 accuracies, so we pin them down as tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.subnet import extract_submodel
+from repro.models import build_cnn, build_vgg
+
+RNG = np.random.default_rng(0)
+
+
+def _model():
+    return build_vgg("vgg11", 10, (3, 16, 16), width_mult=0.5, rng=np.random.default_rng(1))
+
+
+def _covered_out_channels(model, strategy, rounds, ratio=0.5, key_suffix="conv.weight"):
+    covered = set()
+    key = None
+    for t in range(rounds):
+        piece = extract_submodel(
+            model, ratio, strategy, round_idx=t, rng=np.random.default_rng(100 + t)
+        )
+        if key is None:
+            key = next(k for k in piece.index_map if k.endswith(key_suffix))
+        covered.update(piece.index_map[key][0].tolist())
+    total = model.state_dict()[key].shape[0]
+    return covered, total
+
+
+class TestCoverage:
+    def test_static_never_covers_tail(self):
+        model = _model()
+        covered, total = _covered_out_channels(model, "static", rounds=10)
+        assert covered == set(range(total // 2))
+
+    def test_rolling_covers_everything_over_a_cycle(self):
+        model = _model()
+        covered, total = _covered_out_channels(model, "rolling", rounds=2 * 32)
+        assert covered == set(range(total))
+
+    def test_random_covers_everything_whp(self):
+        model = _model()
+        covered, total = _covered_out_channels(model, "random", rounds=30)
+        # with keep=total/2 per round, P(miss after 30 rounds) ~ 2^-30
+        assert covered == set(range(total))
+
+    def test_rolling_deterministic_per_round(self):
+        model = _model()
+        a = extract_submodel(model, 0.5, "rolling", round_idx=7)
+        b = extract_submodel(model, 0.5, "rolling", round_idx=7)
+        key = next(k for k in a.index_map if k.endswith("conv.weight"))
+        np.testing.assert_array_equal(a.index_map[key][0], b.index_map[key][0])
+
+    def test_random_differs_across_clients(self):
+        model = _model()
+        a = extract_submodel(model, 0.5, "random", rng=np.random.default_rng(1))
+        b = extract_submodel(model, 0.5, "random", rng=np.random.default_rng(2))
+        key = next(k for k in a.index_map if k.endswith("conv.weight"))
+        assert not np.array_equal(a.index_map[key][0], b.index_map[key][0])
+
+
+class TestSubmodelConsistency:
+    @pytest.mark.parametrize("strategy", ["static", "random", "rolling"])
+    def test_input_output_channel_chaining(self, strategy):
+        """Layer i+1's input indices must equal layer i's output indices —
+        otherwise the sliced forward would mix mismatched channels."""
+        model = build_cnn(3, 10, (3, 16, 16), base_channels=8, rng=np.random.default_rng(3))
+        piece = extract_submodel(model, 0.5, strategy, round_idx=2, rng=RNG)
+        # atom0 conv out channels feed atom1 conv in channels
+        k0 = "atom0.layer0.conv.weight"
+        k1 = "atom1.layer0.conv.weight"
+        if k0 in piece.index_map and k1 in piece.index_map:
+            out0 = piece.index_map[k0][0]
+            in1 = piece.index_map[k1][1]
+            np.testing.assert_array_equal(np.sort(out0), np.sort(in1))
+
+    @pytest.mark.parametrize("strategy", ["static", "rolling"])
+    def test_bn_indices_match_conv_out(self, strategy):
+        model = _model()
+        piece = extract_submodel(model, 0.5, strategy, round_idx=1, rng=RNG)
+        conv_key = "atom0.layer0.conv.weight"
+        bn_key = "atom0.layer0.bn.weight"
+        np.testing.assert_array_equal(
+            piece.index_map[conv_key][0], piece.index_map[bn_key][0]
+        )

@@ -1,0 +1,140 @@
+"""Tests for width-sliced sub-model extraction and scatter-back."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.subnet import extract_submodel, scatter_submodel_state
+from repro.models import build_cnn, build_resnet, build_vgg
+
+RNG = np.random.default_rng(0)
+
+
+def _vgg():
+    return build_vgg("vgg11", 10, (3, 16, 16), width_mult=0.5, rng=np.random.default_rng(1))
+
+
+def _resnet():
+    return build_resnet("resnet10", 10, (3, 16, 16), width_mult=0.5, rng=np.random.default_rng(2))
+
+
+class TestExtraction:
+    @pytest.mark.parametrize("strategy", ["static", "random", "rolling"])
+    def test_submodel_forward_works(self, strategy):
+        model = _vgg()
+        piece = extract_submodel(model, 0.5, strategy, round_idx=3, rng=RNG)
+        piece.model.eval()
+        out = piece.model(RNG.uniform(size=(2, 3, 16, 16)))
+        assert out.shape == (2, 10)
+
+    def test_full_ratio_is_identity(self):
+        model = _vgg()
+        model.eval()
+        piece = extract_submodel(model, 1.0, "static")
+        piece.model.eval()
+        x = RNG.uniform(size=(2, 3, 16, 16))
+        np.testing.assert_allclose(piece.model(x), model(x), rtol=1e-10)
+
+    def test_smaller_ratio_fewer_params(self):
+        model = _vgg()
+        half = extract_submodel(model, 0.5, "static").model
+        quarter = extract_submodel(model, 0.25, "static").model
+        assert quarter.num_parameters() < half.num_parameters() < model.num_parameters()
+
+    def test_output_classes_never_sliced(self):
+        model = _vgg()
+        piece = extract_submodel(model, 0.25, "random", rng=RNG)
+        out = piece.model(RNG.uniform(size=(1, 3, 16, 16)))
+        assert out.shape == (1, 10)
+
+    def test_resnet_identity_skip_alignment(self):
+        model = _resnet()
+        for strategy in ("static", "random", "rolling"):
+            piece = extract_submodel(model, 0.5, strategy, round_idx=1, rng=RNG)
+            piece.model.eval()
+            out = piece.model(RNG.uniform(size=(2, 3, 16, 16)))
+            assert out.shape == (2, 10)
+
+    def test_sliced_weights_are_copies(self):
+        model = _vgg()
+        piece = extract_submodel(model, 0.5, "static")
+        name, p = next(iter(piece.model.named_parameters()))
+        p.data[...] = 777.0
+        assert not any(
+            np.any(q.data == 777.0) for q in model.parameters()
+        )
+
+    def test_rolling_window_moves_with_round(self):
+        model = _vgg()
+        p0 = extract_submodel(model, 0.5, "rolling", round_idx=0)
+        p1 = extract_submodel(model, 0.5, "rolling", round_idx=1)
+        key = next(k for k in p0.index_map if k.endswith("conv.weight"))
+        assert not np.array_equal(p0.index_map[key][0], p1.index_map[key][0])
+
+    def test_static_is_prefix(self):
+        model = _vgg()
+        piece = extract_submodel(model, 0.5, "static")
+        for axes in piece.index_map.values():
+            for idx in axes:
+                np.testing.assert_array_equal(idx, np.arange(len(idx)))
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            extract_submodel(_vgg(), 0.0, "static")
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            extract_submodel(_vgg(), 0.5, "mystery")
+
+
+class TestScatter:
+    def test_roundtrip_full_ratio(self):
+        model = _vgg()
+        piece = extract_submodel(model, 1.0, "static")
+        global_state = model.state_dict()
+        scattered, mask = scatter_submodel_state(
+            piece.model.state_dict(), piece.index_map, global_state
+        )
+        for k in piece.index_map:
+            np.testing.assert_allclose(scattered[k], global_state[k])
+            np.testing.assert_array_equal(mask[k], np.ones_like(mask[k]))
+
+    def test_partial_mask_covers_only_slice(self):
+        model = _vgg()
+        piece = extract_submodel(model, 0.5, "static", rng=RNG)
+        global_state = model.state_dict()
+        scattered, mask = scatter_submodel_state(
+            piece.model.state_dict(), piece.index_map, global_state
+        )
+        key = next(k for k in piece.index_map if k.endswith("conv.weight"))
+        covered = mask[key].sum()
+        assert 0 < covered < mask[key].size
+
+    def test_scattered_values_land_in_right_place(self):
+        model = _vgg()
+        piece = extract_submodel(model, 0.5, "static", rng=RNG)
+        sub_state = piece.model.state_dict()
+        key = next(k for k in piece.index_map if k.endswith("conv.weight"))
+        global_state = model.state_dict()
+        scattered, mask = scatter_submodel_state(sub_state, piece.index_map, global_state)
+        out_idx, in_idx = piece.index_map[key][:2]
+        np.testing.assert_allclose(
+            scattered[key][np.ix_(out_idx, in_idx)], sub_state[key]
+        )
+
+    def test_cnn_roundtrip_after_training_step(self):
+        """Slice, perturb the sub-model, scatter: global-shaped update has
+        the perturbation exactly on the sliced coordinates."""
+        model = build_cnn(2, 4, (3, 8, 8), base_channels=8, rng=RNG)
+        piece = extract_submodel(model, 0.5, "random", rng=np.random.default_rng(5))
+        for p in piece.model.parameters():
+            p.data += 1.0
+        scattered, mask = scatter_submodel_state(
+            piece.model.state_dict(), piece.index_map, model.state_dict()
+        )
+        for k, axes in piece.index_map.items():
+            orig = model.state_dict()[k]
+            ix = np.ix_(*(tuple(axes) + tuple(
+                np.arange(orig.shape[d]) for d in range(len(axes), orig.ndim)
+            )))
+            if k.split(".")[-1] in ("weight", "bias"):
+                np.testing.assert_allclose(scattered[k][ix], orig[ix] + 1.0)

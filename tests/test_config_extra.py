@@ -1,0 +1,45 @@
+"""Configuration-surface tests: defaults, derived values, paper values."""
+
+import pytest
+
+from repro.core import FedProphetConfig
+from repro.flsim import FLConfig
+
+
+class TestFLConfigDefaults:
+    def test_paper_defaults(self):
+        """FLConfig defaults are the paper's §B.4 hyperparameters."""
+        cfg = FLConfig()
+        assert cfg.num_clients == 100
+        assert cfg.clients_per_round == 10
+        assert cfg.local_iters == 30
+        assert cfg.batch_size == 64
+        assert cfg.lr == pytest.approx(0.005)
+        assert cfg.lr_decay == pytest.approx(0.994)
+        assert cfg.momentum == pytest.approx(0.9)
+        assert cfg.weight_decay == pytest.approx(1e-4)
+        assert cfg.train_pgd_steps == 10
+        assert cfg.eval_pgd_steps == 20
+        assert cfg.eps0 == pytest.approx(8 / 255)
+
+
+class TestFedProphetConfigDefaults:
+    def test_paper_defaults(self):
+        cfg = FedProphetConfig()
+        assert cfg.mu == pytest.approx(1e-5)
+        assert cfg.gamma == pytest.approx(0.05)
+        assert cfg.delta_alpha == pytest.approx(0.1)
+        assert cfg.alpha_init == pytest.approx(0.3)
+        assert cfg.rounds_per_module == 500
+        assert cfg.patience == 50
+        assert cfg.use_apa and cfg.use_dma
+
+    def test_attack_steps_features_falls_back_to_train_steps(self):
+        cfg = FedProphetConfig(train_pgd_steps=7)
+        assert cfg.attack_steps_features == 7
+        cfg2 = FedProphetConfig(train_pgd_steps=7, feature_pgd_steps=3)
+        assert cfg2.attack_steps_features == 3
+
+    def test_inherits_fl_validation(self):
+        with pytest.raises(ValueError):
+            FedProphetConfig(num_clients=2, clients_per_round=5)

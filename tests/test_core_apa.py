@@ -1,0 +1,85 @@
+"""Tests for Adaptive Perturbation Adjustment (Eq. 11–12)."""
+
+import numpy as np
+import pytest
+
+from repro.core.apa import AdaptivePerturbationAdjustment, _safe_ratio
+
+
+def _armed(**kwargs):
+    apa = AdaptivePerturbationAdjustment(**kwargs)
+    apa.start_module(base_magnitude=2.0, prev_clean_acc=0.8, prev_adv_acc=0.4)
+    return apa
+
+
+class TestAPA:
+    def test_initial_epsilon(self):
+        apa = _armed(alpha_init=0.3)
+        assert apa.epsilon == pytest.approx(0.6)
+
+    def test_ratio_too_high_increases_alpha(self):
+        """Clean >> adv accuracy: robustness lags, crank ε up."""
+        apa = _armed()
+        # prev ratio = 2.0; current ratio 0.9/0.3 = 3.0 > 2.0 * 1.05
+        apa.update(clean_acc=0.9, adv_acc=0.3)
+        assert apa.alpha == pytest.approx(0.4)
+
+    def test_ratio_too_low_decreases_alpha(self):
+        apa = _armed()
+        # current ratio 0.5/0.45 ≈ 1.1 < 2.0 * 0.95
+        apa.update(clean_acc=0.5, adv_acc=0.45)
+        assert apa.alpha == pytest.approx(0.2)
+
+    def test_ratio_in_band_keeps_alpha(self):
+        apa = _armed()
+        apa.update(clean_acc=0.8, adv_acc=0.4)  # exactly prev ratio
+        assert apa.alpha == pytest.approx(0.3)
+
+    def test_alpha_clamped(self):
+        apa = _armed(alpha_init=0.1, alpha_min=0.05, delta_alpha=0.1)
+        for _ in range(5):
+            apa.update(clean_acc=0.5, adv_acc=0.5)  # ratio 1 < 1.9 -> decrease
+        assert apa.alpha == pytest.approx(0.05)
+        apa2 = _armed(alpha_init=1.95, alpha_max=2.0, delta_alpha=0.1)
+        for _ in range(5):
+            apa2.update(clean_acc=0.9, adv_acc=0.1)  # huge ratio -> increase
+        assert apa2.alpha == pytest.approx(2.0)
+
+    def test_disabled_apa_freezes_alpha(self):
+        apa = AdaptivePerturbationAdjustment(enabled=False)
+        apa.start_module(1.0, 0.8, 0.4)
+        apa.update(clean_acc=0.99, adv_acc=0.01)
+        assert apa.alpha == pytest.approx(apa.alpha_init)
+
+    def test_zero_adv_accuracy_guarded(self):
+        apa = _armed()
+        apa.update(clean_acc=0.9, adv_acc=0.0)  # ratio -> huge, must not crash
+        assert np.isfinite(apa.epsilon)
+        assert apa.alpha > 0.3
+
+    def test_history_records_epsilons(self):
+        apa = _armed()
+        apa.update(0.8, 0.4)
+        apa.update(0.8, 0.4)
+        assert len(apa.history) == 2
+
+    def test_start_module_resets_alpha(self):
+        apa = _armed()
+        apa.update(0.9, 0.1)
+        assert apa.alpha != apa.alpha_init
+        apa.start_module(1.0, 0.7, 0.5)
+        assert apa.alpha == apa.alpha_init
+        assert apa.history == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptivePerturbationAdjustment(gamma=0.0)
+        with pytest.raises(ValueError):
+            AdaptivePerturbationAdjustment(delta_alpha=0.0)
+        apa = AdaptivePerturbationAdjustment()
+        with pytest.raises(ValueError):
+            apa.start_module(-1.0, 0.5, 0.5)
+
+    def test_safe_ratio(self):
+        assert _safe_ratio(0.8, 0.4) == pytest.approx(2.0)
+        assert np.isfinite(_safe_ratio(0.8, 0.0))

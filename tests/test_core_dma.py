@@ -1,0 +1,107 @@
+"""Tests for Differentiated Module Assignment (Eq. 14–15)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dma import SegmentCostTable, assign_modules
+from repro.core.partitioner import partition_model, full_model_mem_bytes
+from repro.hardware.devices import Device, DeviceState
+from repro.hardware.memory import MemoryModel
+from repro.models import build_vgg
+
+RNG = np.random.default_rng(0)
+MEM = MemoryModel(batch_size=8)
+
+
+def _setup():
+    model = build_vgg("vgg11", 10, (3, 16, 16), width_mult=0.25, rng=RNG)
+    r_max = full_model_mem_bytes(model, MEM)
+    partition = partition_model(model, 0.25 * r_max, MEM)
+    assert partition.num_modules >= 3, "test needs a multi-module partition"
+    table = SegmentCostTable(model, partition, MEM)
+    return model, partition, table
+
+
+def _state(mem_bytes, perf_flops):
+    return DeviceState(
+        Device("t", perf_flops / 1e12, mem_bytes / 1024**3 * 5, 16),
+        avail_mem_bytes=mem_bytes,
+        avail_perf_flops=perf_flops,
+    )
+
+
+class TestSegmentCostTable:
+    def test_costs_monotone_in_span(self):
+        _, partition, table = _setup()
+        for a in range(len(partition)):
+            flops = [table.cost(a, b).flops_fwd for b in range(a, len(partition))]
+            assert flops == sorted(flops)
+
+    def test_all_spans_present(self):
+        _, partition, table = _setup()
+        m = len(partition)
+        for a in range(m):
+            for b in range(a, m):
+                assert table.cost(a, b).mem_bytes > 0
+
+
+class TestAssignModules:
+    def test_poor_client_gets_only_current_module(self):
+        _, partition, table = _setup()
+        tiny = table.cost(0, 0)
+        states = [_state(tiny.mem_bytes * 1.01, 1e9)]
+        out = assign_modules(table, 0, states)
+        assert out == [0]
+
+    def test_rich_fast_client_gets_more_modules(self):
+        """A prophet client with huge memory and FLOPs headroom extends."""
+        _, partition, table = _setup()
+        poor = _state(table.cost(1, 1).mem_bytes * 1.01, 1e9)
+        rich = _state(1e15, 1e14)  # vastly richer than the poor one
+        out = assign_modules(table, 1, [poor, rich])
+        assert out[0] == 1
+        assert out[1] > 1
+
+    def test_flops_constraint_blocks_extension(self):
+        """Same memory headroom, but no perf headroom vs the slowest client:
+        Eq. 15 must keep the assignment at a single module."""
+        _, partition, table = _setup()
+        same_perf = 1e10
+        a = _state(1e15, same_perf)
+        b = _state(1e15, same_perf)
+        out = assign_modules(table, 0, [a, b])
+        # budget = (P_k/P_min) * F(m) = F(m) exactly; extending exceeds it.
+        assert out == [0, 0]
+
+    def test_memory_constraint_blocks_extension(self):
+        _, partition, table = _setup()
+        just_one = table.cost(0, 0).mem_bytes * 1.01
+        fast_but_small = _state(just_one, 1e14)
+        slow = _state(just_one, 1e9)
+        out = assign_modules(table, 0, [fast_but_small, slow])
+        assert out[0] == 0
+
+    def test_disabled_dma(self):
+        _, partition, table = _setup()
+        states = [_state(1e15, 1e14)]
+        assert assign_modules(table, 0, states, enabled=False) == [0]
+
+    def test_none_states_fall_back(self):
+        _, partition, table = _setup()
+        assert assign_modules(table, 0, [None, None]) == [0, 0]
+
+    def test_last_module_cannot_extend(self):
+        _, partition, table = _setup()
+        last = len(partition) - 1
+        states = [_state(1e15, 1e14)]
+        assert assign_modules(table, last, states) == [last]
+
+    def test_assignment_never_exceeds_module_count(self):
+        _, partition, table = _setup()
+        rng = np.random.default_rng(3)
+        states = [
+            _state(rng.uniform(1e6, 1e12), rng.uniform(1e9, 1e13)) for _ in range(20)
+        ]
+        for m in range(len(partition)):
+            out = assign_modules(table, m, states)
+            assert all(m <= mk <= len(partition) - 1 for mk in out)

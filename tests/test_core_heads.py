@@ -1,0 +1,102 @@
+"""Tests for the auxiliary output heads (GAP + linear)."""
+
+import numpy as np
+import pytest
+
+from repro.core.heads import AuxHead, head_input_dim
+from tests.helpers import numerical_grad
+
+RNG = np.random.default_rng(0)
+
+
+class TestHeadInputDim:
+    def test_conv_features_pool_to_channels(self):
+        assert head_input_dim((64, 8, 8)) == 64
+
+    def test_flat_features_pass_through(self):
+        assert head_input_dim((128,)) == 128
+
+    def test_2d_features_flatten(self):
+        assert head_input_dim((4, 5)) == 20
+
+
+class TestAuxHeadConv:
+    def test_forward_shape(self):
+        head = AuxHead((8, 4, 4), 10, rng=RNG)
+        z = RNG.normal(size=(3, 8, 4, 4))
+        assert head(z).shape == (3, 10)
+
+    def test_forward_equals_gap_then_linear(self):
+        head = AuxHead((8, 4, 4), 10, rng=RNG)
+        z = RNG.normal(size=(2, 8, 4, 4))
+        expected = head.linear(z.mean(axis=(2, 3)))
+        np.testing.assert_allclose(head(z), expected)
+
+    def test_backward_shape_and_value(self):
+        head = AuxHead((4, 3, 3), 5, rng=RNG)
+        z = RNG.normal(size=(2, 4, 3, 3))
+        out = head(z)
+        g_logits = RNG.normal(size=out.shape)
+        head.zero_grad()
+        g_z = head.backward(g_logits)
+        assert g_z.shape == z.shape
+
+        def objective():
+            return float((g_logits * head(z)).sum())
+
+        numeric = numerical_grad(objective, z)
+        np.testing.assert_allclose(g_z, numeric, rtol=1e-5, atol=1e-8)
+
+    def test_linear_param_grads_accumulate(self):
+        head = AuxHead((4, 2, 2), 3, rng=RNG)
+        z = RNG.normal(size=(2, 4, 2, 2))
+        head.zero_grad()
+        head.backward_ready = head(z)
+        head.backward(np.ones((2, 3)))
+        assert np.abs(head.linear.weight.grad).sum() > 0
+
+    def test_rejects_wrong_rank(self):
+        head = AuxHead((4, 2, 2), 3, rng=RNG)
+        with pytest.raises(ValueError):
+            head(np.zeros((2, 16)))
+
+
+class TestAuxHeadFlat:
+    def test_flat_features(self):
+        head = AuxHead((12,), 4, rng=RNG)
+        z = RNG.normal(size=(3, 12))
+        assert head(z).shape == (3, 4)
+        g = head.backward(np.ones((3, 4)))
+        assert g.shape == z.shape
+
+    def test_gradient_matches_numeric(self):
+        head = AuxHead((6,), 3, rng=RNG)
+        z = RNG.normal(size=(2, 6))
+        out = head(z)
+        g_logits = RNG.normal(size=out.shape)
+        g_z = head.backward(g_logits)
+
+        def objective():
+            return float((g_logits * head(z)).sum())
+
+        numeric = numerical_grad(objective, z)
+        np.testing.assert_allclose(g_z, numeric, rtol=1e-6, atol=1e-9)
+
+
+class TestAuxHeadAsModule:
+    def test_state_dict_roundtrip(self):
+        h1 = AuxHead((4, 2, 2), 3, rng=np.random.default_rng(1))
+        h2 = AuxHead((4, 2, 2), 3, rng=np.random.default_rng(2))
+        h2.load_state_dict(h1.state_dict())
+        z = RNG.normal(size=(2, 4, 2, 2))
+        np.testing.assert_allclose(h1(z), h2(z))
+
+    def test_in_out_features(self):
+        head = AuxHead((16, 4, 4), 10, rng=RNG)
+        assert head.in_features == 16
+        assert head.out_features == 10
+
+    def test_parameters_exposed(self):
+        head = AuxHead((4, 2, 2), 3, rng=RNG)
+        names = [n for n, _ in head.named_parameters()]
+        assert names == ["linear.weight", "linear.bias"]

@@ -1,0 +1,166 @@
+"""Tests for synthetic tasks, loaders, and federated partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    dirichlet_partition,
+    iid_partition,
+    make_caltech256_like,
+    make_cifar10_like,
+    pathological_partition,
+    public_private_split,
+)
+from repro.data.synthetic import make_synthetic_task
+
+
+class TestArrayDataset:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_subset(self):
+        ds = ArrayDataset(np.arange(10).reshape(10, 1), np.arange(10))
+        sub = ds.subset([1, 3, 5])
+        np.testing.assert_array_equal(sub.y, [1, 3, 5])
+
+    def test_class_counts(self):
+        ds = ArrayDataset(np.zeros((4, 1)), np.array([0, 1, 1, 3]))
+        np.testing.assert_array_equal(ds.class_counts(5), [1, 2, 0, 1, 0])
+
+
+class TestDataLoader:
+    def _ds(self, n=10):
+        return ArrayDataset(np.arange(n).reshape(n, 1).astype(float), np.arange(n))
+
+    def test_covers_all_samples(self):
+        loader = DataLoader(self._ds(), batch_size=3, shuffle=True, rng=np.random.default_rng(0))
+        seen = np.concatenate([y for _, y in loader])
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_drop_last(self):
+        loader = DataLoader(self._ds(10), batch_size=3, drop_last=True)
+        batches = list(loader)
+        assert len(batches) == 3
+        assert all(len(y) == 3 for _, y in batches)
+
+    def test_len(self):
+        assert len(DataLoader(self._ds(10), batch_size=3)) == 4
+        assert len(DataLoader(self._ds(10), batch_size=3, drop_last=True)) == 3
+
+    def test_shuffling_is_reproducible(self):
+        d1 = DataLoader(self._ds(), batch_size=4, rng=np.random.default_rng(5))
+        d2 = DataLoader(self._ds(), batch_size=4, rng=np.random.default_rng(5))
+        for (x1, _), (x2, _) in zip(d1, d2):
+            np.testing.assert_array_equal(x1, x2)
+
+    def test_infinite_stream(self):
+        loader = DataLoader(self._ds(4), batch_size=4)
+        stream = loader.infinite()
+        for _ in range(5):
+            x, y = next(stream)
+            assert len(y) == 4
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._ds(), batch_size=0)
+
+
+class TestSyntheticTask:
+    def test_cifar10_like_shapes_and_range(self):
+        task = make_cifar10_like(image_size=8, train_per_class=5, test_per_class=2)
+        assert task.num_classes == 10
+        assert task.train.x.shape == (50, 3, 8, 8)
+        assert task.test.x.shape == (20, 3, 8, 8)
+        assert task.train.x.min() >= 0.0 and task.train.x.max() <= 1.0
+
+    def test_caltech256_like_many_classes(self):
+        task = make_caltech256_like(image_size=8, num_classes=16, train_per_class=3, test_per_class=1)
+        assert task.num_classes == 16
+        assert set(np.unique(task.train.y)) == set(range(16))
+
+    def test_determinism(self):
+        t1 = make_cifar10_like(image_size=8, train_per_class=4, test_per_class=2, seed=3)
+        t2 = make_cifar10_like(image_size=8, train_per_class=4, test_per_class=2, seed=3)
+        np.testing.assert_array_equal(t1.train.x, t2.train.x)
+
+    def test_different_seeds_differ(self):
+        t1 = make_cifar10_like(image_size=8, train_per_class=4, test_per_class=2, seed=3)
+        t2 = make_cifar10_like(image_size=8, train_per_class=4, test_per_class=2, seed=4)
+        assert not np.allclose(t1.train.x, t2.train.x)
+
+    def test_task_is_learnable_by_linear_probe(self):
+        """Nearest-prototype should beat chance by a wide margin."""
+        task = make_cifar10_like(image_size=8, train_per_class=30, test_per_class=10, seed=0)
+        protos = np.stack([
+            task.train.x[task.train.y == c].mean(axis=0) for c in range(10)
+        ]).reshape(10, -1)
+        xt = task.test.x.reshape(len(task.test.x), -1)
+        d = ((xt[:, None, :] - protos[None]) ** 2).sum(axis=2)
+        acc = (d.argmin(axis=1) == task.test.y).mean()
+        assert acc > 0.5
+
+    def test_min_classes(self):
+        with pytest.raises(ValueError):
+            make_synthetic_task("t", 1, (3, 8, 8), 2, 2)
+
+
+class TestPartitions:
+    def _labels(self, n=600, classes=10):
+        return np.arange(n) % classes
+
+    def test_iid_partition_covers_everything(self):
+        shards = iid_partition(self._labels(), 10)
+        all_idx = np.concatenate(shards)
+        assert len(all_idx) == 600
+        assert len(np.unique(all_idx)) == 600
+
+    def test_pathological_partition_majority_structure(self):
+        labels = self._labels()
+        shards = pathological_partition(labels, 10, rng=np.random.default_rng(0))
+        for shard in shards:
+            counts = np.bincount(labels[shard], minlength=10)
+            top2 = np.sort(counts)[-2:].sum()
+            # 80% of data concentrated in ~20% (=2) classes
+            assert top2 / counts.sum() > 0.6
+
+    def test_pathological_partition_disjoint(self):
+        shards = pathological_partition(self._labels(), 10, rng=np.random.default_rng(1))
+        all_idx = np.concatenate(shards)
+        assert len(np.unique(all_idx)) == len(all_idx)
+
+    def test_pathological_fraction_validation(self):
+        with pytest.raises(ValueError):
+            pathological_partition(self._labels(), 5, major_data_frac=0.0)
+
+    def test_dirichlet_partition_covers_everything(self):
+        shards = dirichlet_partition(self._labels(), 8, alpha=0.5, rng=np.random.default_rng(0))
+        all_idx = np.concatenate(shards)
+        assert len(np.unique(all_idx)) == 600
+
+    def test_dirichlet_alpha_validation(self):
+        with pytest.raises(ValueError):
+            dirichlet_partition(self._labels(), 5, alpha=0.0)
+
+    def test_dirichlet_low_alpha_is_skewed(self):
+        labels = self._labels()
+        shards = dirichlet_partition(labels, 5, alpha=0.05, rng=np.random.default_rng(2))
+        skews = []
+        for shard in shards:
+            if len(shard) == 0:
+                continue
+            counts = np.bincount(labels[shard], minlength=10)
+            skews.append(counts.max() / max(counts.sum(), 1))
+        assert np.mean(skews) > 0.4  # highly concentrated shards
+
+    def test_public_private_split(self):
+        pub, priv = public_private_split(self._labels(), 0.1, rng=np.random.default_rng(0))
+        assert len(pub) == 60
+        assert len(np.intersect1d(pub, priv)) == 0
+        assert len(pub) + len(priv) == 600
+
+    def test_public_frac_validation(self):
+        with pytest.raises(ValueError):
+            public_private_split(self._labels(), 1.0)

@@ -1,0 +1,109 @@
+"""Failure injection: wrong shapes, NaNs, and corrupted state must fail
+loudly (or be handled) rather than silently corrupting training."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import ModelWithLoss, PGDConfig, pgd_attack
+from repro.data import ArrayDataset
+from repro.flsim.aggregation import weighted_average_states
+from repro.models import build_cnn
+from repro.nn import CrossEntropyLoss, Linear, Sequential, ReLU
+
+RNG = np.random.default_rng(0)
+
+
+class TestShapeMismatches:
+    def test_load_state_dict_shape_mismatch_raises(self):
+        m = Sequential(Linear(4, 3))
+        bad = {k: np.zeros((9, 9)) for k in m.state_dict()}
+        with pytest.raises(ValueError):
+            m.load_state_dict(bad)
+
+    def test_aggregating_mismatched_states_raises(self):
+        s1 = {"w": np.zeros(3)}
+        s2 = {"w": np.zeros(4)}
+        with pytest.raises(ValueError):
+            weighted_average_states([s1, s2], [1.0, 1.0])
+
+    def test_model_rejects_wrong_input_channels(self):
+        model = build_cnn(2, 4, (3, 8, 8), base_channels=4, rng=RNG)
+        with pytest.raises(ValueError):
+            model(np.zeros((1, 5, 8, 8)))
+
+    def test_dataset_subset_out_of_range(self):
+        ds = ArrayDataset(np.zeros((3, 2)), np.zeros(3, dtype=int))
+        with pytest.raises(IndexError):
+            ds.subset([0, 7])
+
+
+class TestNumericalRobustness:
+    def test_cross_entropy_with_huge_logits(self):
+        ce = CrossEntropyLoss()
+        loss = ce(np.array([[1e308, -1e308, 0.0]]), np.array([0]))
+        assert np.isfinite(loss)
+        assert np.isfinite(ce.backward()).all()
+
+    def test_pgd_on_constant_model_is_bounded(self):
+        """A model with zero gradients must not produce NaN perturbations."""
+
+        class Constant:
+            def __call__(self, x):
+                self._n = len(x)
+                return np.zeros((len(x), 3))
+
+            def forward(self, x):
+                return self(x)
+
+            def backward(self, g):
+                return np.zeros((self._n, 4))
+
+        mwl = ModelWithLoss(Constant())
+        x = RNG.uniform(size=(2, 4))
+        adv = pgd_attack(mwl, x, np.array([0, 1]), PGDConfig(eps=0.1, steps=3), rng=RNG)
+        assert np.isfinite(adv).all()
+        assert np.all(np.abs(adv - x) <= 0.1 + 1e-12)
+
+    def test_zero_variance_batchnorm_stable(self):
+        from repro.nn import BatchNorm2d
+
+        bn = BatchNorm2d(2)
+        bn.train()
+        out = bn(np.ones((4, 2, 3, 3)))
+        assert np.isfinite(out).all()
+        g = bn.backward(np.ones_like(out))
+        assert np.isfinite(g).all()
+
+    def test_relu_dead_everywhere_backward_zero(self):
+        relu = ReLU()
+        out = relu(-np.ones((2, 3)))
+        g = relu.backward(np.ones_like(out))
+        np.testing.assert_array_equal(g, np.zeros_like(g))
+
+
+class TestEmptyAndDegenerate:
+    def test_single_sample_dataset_trains(self):
+        from repro.flsim.local import standard_local_train
+
+        model = Sequential(Linear(4, 2))
+        ds = ArrayDataset(RNG.uniform(size=(1, 4)), np.array([1]))
+        loss = standard_local_train(model, ds, iterations=3, batch_size=8, lr=0.1)
+        assert np.isfinite(loss)
+
+    def test_zero_iterations_is_noop(self):
+        from repro.flsim.local import standard_local_train
+
+        model = Sequential(Linear(4, 2))
+        before = model.state_dict()
+        ds = ArrayDataset(RNG.uniform(size=(4, 4)), np.array([0, 1, 0, 1]))
+        loss = standard_local_train(model, ds, iterations=0, batch_size=2, lr=0.1)
+        assert loss == 0.0
+        for k, v in model.state_dict().items():
+            np.testing.assert_array_equal(v, before[k])
+
+    def test_partition_more_clients_than_samples(self):
+        from repro.data.partition import iid_partition
+
+        shards = iid_partition(np.arange(3) % 2, 5)
+        assert len(shards) == 5
+        assert sum(len(s) for s in shards) == 3

@@ -1,0 +1,70 @@
+"""Tests for round-history utilities."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.flsim.base import RoundRecord
+from repro.flsim.history import best_round, export_csv, history_rows, time_to_accuracy
+from repro.metrics.evaluation import EvalResult
+
+
+def _history():
+    return [
+        RoundRecord(0, 10.0, 8.0, 2.0, eval=None),
+        RoundRecord(1, 20.0, 16.0, 4.0, eval=EvalResult(0.3, 0.1, None)),
+        RoundRecord(2, 30.0, 24.0, 6.0, eval=EvalResult(0.5, 0.25, 0.2)),
+        RoundRecord(3, 40.0, 32.0, 8.0, eval=EvalResult(0.45, 0.3, 0.28)),
+    ]
+
+
+class TestHistoryRows:
+    def test_rows_align_with_records(self):
+        rows = history_rows(_history())
+        assert len(rows) == 4
+        assert rows[0]["clean_acc"] is None
+        assert rows[2]["clean_acc"] == 0.5
+        assert rows[3]["sim_time_s"] == 40.0
+
+    def test_empty_history(self):
+        assert history_rows([]) == []
+
+
+class TestExportCsv:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out" / "history.csv")
+        export_csv(_history(), path)
+        with open(path) as f:
+            rows = list(csv.DictReader(f))
+        assert len(rows) == 4
+        assert rows[2]["pgd_acc"] == "0.25"
+        assert rows[0]["clean_acc"] == ""
+
+
+class TestTimeToAccuracy:
+    def test_first_crossing(self):
+        assert time_to_accuracy(_history(), 0.5) == 30.0
+
+    def test_unreached_target(self):
+        assert time_to_accuracy(_history(), 0.99) is None
+
+    def test_ignores_rounds_without_eval(self):
+        assert time_to_accuracy(_history(), 0.0) == 20.0
+
+
+class TestBestRound:
+    def test_best_pgd(self):
+        rec = best_round(_history(), "pgd_acc")
+        assert rec.round == 3
+
+    def test_best_clean(self):
+        rec = best_round(_history(), "clean_acc")
+        assert rec.round == 2
+
+    def test_metric_with_none_values(self):
+        rec = best_round(_history(), "aa_acc")
+        assert rec.round == 3
+
+    def test_empty(self):
+        assert best_round([], "pgd_acc") is None

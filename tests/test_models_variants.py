@@ -1,0 +1,72 @@
+"""Architecture-variant tests: all zoo members build, run, and backprop."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import profile_module
+from repro.models import build_model
+from repro.nn import CrossEntropyLoss
+
+RNG = np.random.default_rng(0)
+
+VARIANTS = [
+    ("vgg11", (3, 16, 16), 0.25),
+    ("vgg13", (3, 16, 16), 0.25),
+    ("vgg16", (3, 16, 16), 0.25),
+    ("resnet10", (3, 16, 16), 0.25),
+    ("resnet18", (3, 16, 16), 0.25),
+    ("resnet34", (3, 16, 16), 0.125),
+    ("cnn3", (3, 16, 16), 1.0),
+    ("cnn4", (3, 16, 16), 1.0),
+]
+
+
+@pytest.mark.parametrize("name,shape,wm", VARIANTS)
+class TestAllVariants:
+    def test_forward_backward_roundtrip(self, name, shape, wm):
+        model = build_model(name, 7, shape, width_mult=wm, rng=RNG)
+        model.train()
+        x = RNG.uniform(size=(2,) + shape)
+        out = model(x)
+        assert out.shape == (2, 7)
+        ce = CrossEntropyLoss()
+        ce(out, np.array([0, 3]))
+        g = model.backward(ce.backward())
+        assert g.shape == x.shape
+        assert np.isfinite(g).all()
+
+    def test_profile_matches_forward_shape(self, name, shape, wm):
+        model = build_model(name, 7, shape, width_mult=wm, rng=RNG)
+        prof = profile_module(model, shape)
+        model.eval()
+        out = model(np.zeros((1,) + shape))
+        assert prof.out_shape == tuple(out.shape[1:])
+        assert prof.params == model.num_parameters()
+
+    def test_atom_chain_shapes_consistent(self, name, shape, wm):
+        model = build_model(name, 7, shape, width_mult=wm, rng=RNG)
+        # feature_shape(i) must chain: atom i+1 consumes atom i's output
+        model.eval()
+        x = np.zeros((1,) + shape)
+        for i, atom in enumerate(model.atoms):
+            x = atom.module(x)
+            assert tuple(x.shape[1:]) == model.feature_shape(i)
+
+
+class TestDepthOrdering:
+    def test_deeper_vgg_more_params(self):
+        p = {}
+        for arch in ("vgg11", "vgg13", "vgg16"):
+            p[arch] = build_model(arch, 10, (3, 32, 32), width_mult=0.25, rng=RNG).num_parameters()
+        assert p["vgg11"] < p["vgg13"] < p["vgg16"]
+
+    def test_deeper_resnet_more_params(self):
+        p = {}
+        for arch in ("resnet10", "resnet18", "resnet34"):
+            p[arch] = build_model(arch, 10, (3, 32, 32), width_mult=0.25, rng=RNG).num_parameters()
+        assert p["resnet10"] < p["resnet18"] < p["resnet34"]
+
+    def test_resnet_block_counts(self):
+        assert len(build_model("resnet10", 10, (3, 16, 16), width_mult=0.25, rng=RNG).atoms) == 6
+        assert len(build_model("resnet18", 10, (3, 16, 16), width_mult=0.25, rng=RNG).atoms) == 10
+        assert len(build_model("resnet34", 10, (3, 16, 16), width_mult=0.125, rng=RNG).atoms) == 18

@@ -1,0 +1,111 @@
+"""Additional edge cases across the FL engine and coordinator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FedProphet, FedProphetConfig
+from repro.core.apa import AdaptivePerturbationAdjustment
+from repro.data import DataLoader, make_cifar10_like
+from repro.data.dataset import ArrayDataset
+from repro.models import build_cnn
+
+
+def _task():
+    return make_cifar10_like(image_size=8, train_per_class=20, test_per_class=8, seed=0)
+
+
+def _builder(rng):
+    return build_cnn(3, 10, (3, 8, 8), base_channels=4, rng=rng)
+
+
+class TestDataLoaderEpochs:
+    def test_fresh_permutation_each_epoch(self):
+        ds = ArrayDataset(np.arange(20).reshape(20, 1).astype(float), np.arange(20))
+        loader = DataLoader(ds, batch_size=20, shuffle=True, rng=np.random.default_rng(0))
+        first = next(iter(loader))[1]
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_preserves_order(self):
+        ds = ArrayDataset(np.arange(6).reshape(6, 1).astype(float), np.arange(6))
+        loader = DataLoader(ds, batch_size=2, shuffle=False)
+        ys = np.concatenate([y for _, y in loader])
+        np.testing.assert_array_equal(ys, np.arange(6))
+
+
+class TestProphetBudget:
+    def test_run_respects_total_round_cap(self):
+        cfg = FedProphetConfig(
+            num_clients=4, clients_per_round=2, local_iters=1, batch_size=8,
+            rounds=3, rounds_per_module=10, patience=10, train_pgd_steps=1,
+            eval_every=0, r_min_fraction=0.4, val_samples=16, val_pgd_steps=1,
+            seed=0,
+        )
+        fed = FedProphet(_task(), _builder, cfg)
+        history = fed.run()
+        assert len(history) == 3  # cap hit before module budgets exhaust
+
+    def test_explicit_rounds_argument_overrides_config(self):
+        cfg = FedProphetConfig(
+            num_clients=4, clients_per_round=2, local_iters=1, batch_size=8,
+            rounds=50, rounds_per_module=2, patience=5, train_pgd_steps=1,
+            eval_every=0, r_min_fraction=0.4, val_samples=16, val_pgd_steps=1,
+            seed=0,
+        )
+        fed = FedProphet(_task(), _builder, cfg)
+        history = fed.run(rounds=2)
+        assert len(history) == 2
+
+    def test_rbyte_budget_accepts_absolute_rmin(self):
+        cfg = FedProphetConfig(
+            num_clients=4, clients_per_round=2, local_iters=1, batch_size=8,
+            rounds=1, rounds_per_module=1, patience=1, train_pgd_steps=1,
+            eval_every=0, r_min_bytes=10**6, val_samples=16, val_pgd_steps=1,
+            seed=0,
+        )
+        fed = FedProphet(_task(), _builder, cfg)
+        assert fed.r_min == 10**6
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_updates=st.integers(1, 30),
+)
+@settings(max_examples=25, deadline=None)
+def test_apa_alpha_always_within_bounds(seed, n_updates):
+    """However noisy the validation accuracies, APA's α stays clamped."""
+    rng = np.random.default_rng(seed)
+    apa = AdaptivePerturbationAdjustment(alpha_min=0.05, alpha_max=2.0)
+    apa.start_module(
+        base_magnitude=float(rng.uniform(0.1, 5.0)),
+        prev_clean_acc=float(rng.uniform(0.1, 1.0)),
+        prev_adv_acc=float(rng.uniform(0.0, 1.0)),
+    )
+    for _ in range(n_updates):
+        apa.update(float(rng.uniform(0, 1)), float(rng.uniform(0, 1)))
+        assert 0.05 - 1e-12 <= apa.alpha <= 2.0 + 1e-12
+        assert np.isfinite(apa.epsilon)
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_prophet_eps_star_nonnegative(seed):
+    """Perturbation-magnitude collection never goes negative, whatever the
+    client data looks like."""
+    from repro.core.cascade import measure_output_perturbation
+    from repro.core.heads import AuxHead
+
+    rng = np.random.default_rng(seed)
+    model = _builder(np.random.default_rng(seed))
+    ds = ArrayDataset(
+        np.clip(rng.normal(0.5, 0.3, size=(16, 3, 8, 8)), 0, 1),
+        rng.integers(0, 10, size=16),
+    )
+    head = AuxHead(model.feature_shape(0), 10, rng=rng)
+    v = measure_output_perturbation(
+        model, 0, 1, head, ds, mu=1e-5, eps0=8 / 255, eps_feature=0.0,
+        attack_steps=1, batch_size=8, rng=rng,
+    )
+    assert v >= 0.0 and np.isfinite(v)

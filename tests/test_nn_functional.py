@@ -1,0 +1,71 @@
+"""Tests for im2col/col2im and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import col2im, conv_output_size, im2col, one_hot
+
+
+def test_conv_output_size_basic():
+    assert conv_output_size(32, 3, 1, 1) == 32
+    assert conv_output_size(32, 2, 2, 0) == 16
+    assert conv_output_size(7, 3, 2, 1) == 4
+
+
+def test_conv_output_size_invalid():
+    with pytest.raises(ValueError):
+        conv_output_size(1, 3, 1, 0)
+
+
+def test_im2col_shapes():
+    x = np.arange(2 * 3 * 5 * 5, dtype=float).reshape(2, 3, 5, 5)
+    cols, oh, ow = im2col(x, 3, 3, 1, 1)
+    assert (oh, ow) == (5, 5)
+    assert cols.shape == (2, 3 * 9, 25)
+
+
+def test_im2col_values_identity_kernel():
+    """A 1x1 kernel with stride 1 is just a reshape."""
+    x = np.random.default_rng(0).normal(size=(2, 4, 3, 3))
+    cols, oh, ow = im2col(x, 1, 1, 1, 0)
+    np.testing.assert_allclose(cols, x.reshape(2, 4, 9))
+
+
+def test_im2col_window_content():
+    x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+    cols, oh, ow = im2col(x, 2, 2, 2, 0)
+    assert (oh, ow) == (2, 2)
+    # first window is the top-left 2x2 patch
+    np.testing.assert_array_equal(cols[0, :, 0], [0, 1, 4, 5])
+    np.testing.assert_array_equal(cols[0, :, 3], [10, 11, 14, 15])
+
+
+def test_col2im_is_adjoint_of_im2col():
+    """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(2, 3, 6, 6))
+    for kh, kw, s, p in [(3, 3, 1, 1), (2, 2, 2, 0), (3, 3, 2, 1)]:
+        cols, _, _ = im2col(x, kh, kw, s, p)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, kh, kw, s, p)).sum())
+        assert abs(lhs - rhs) < 1e-8
+
+
+def test_col2im_accumulates_overlaps():
+    x_shape = (1, 1, 3, 3)
+    cols = np.ones((1, 4, 4))  # 2x2 kernel, stride 1 -> 2x2 output positions
+    out = col2im(cols, x_shape, 2, 2, 1, 0)
+    # centre pixel is covered by all four windows
+    assert out[0, 0, 1, 1] == 4.0
+    assert out[0, 0, 0, 0] == 1.0
+
+
+def test_one_hot():
+    oh = one_hot(np.array([0, 2, 1]), 3)
+    np.testing.assert_array_equal(oh, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+
+def test_one_hot_rejects_2d():
+    with pytest.raises(ValueError):
+        one_hot(np.zeros((2, 2), dtype=int), 3)

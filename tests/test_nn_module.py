@@ -1,0 +1,133 @@
+"""Tests for the Module/Parameter/Sequential base machinery."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, ReLU, Sequential, Identity
+from repro.nn.module import Module, Parameter
+
+
+def test_parameter_grad_starts_zero():
+    p = Parameter(np.ones((3, 2)))
+    assert p.shape == (3, 2)
+    assert p.size == 6
+    np.testing.assert_array_equal(p.grad, np.zeros((3, 2)))
+
+
+def test_parameter_zero_grad():
+    p = Parameter(np.ones(4))
+    p.grad += 3.0
+    p.zero_grad()
+    np.testing.assert_array_equal(p.grad, np.zeros(4))
+
+
+def test_module_registers_parameters_and_children():
+    rng = np.random.default_rng(0)
+    model = Sequential(Linear(4, 3, rng=rng), ReLU(), Linear(3, 2, rng=rng))
+    names = [n for n, _ in model.named_parameters()]
+    assert names == [
+        "layer0.weight",
+        "layer0.bias",
+        "layer2.weight",
+        "layer2.bias",
+    ]
+    assert model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+
+def test_train_eval_propagates():
+    model = Sequential(Linear(2, 2), ReLU())
+    model.eval()
+    assert all(not m.training for m in model.modules())
+    model.train()
+    assert all(m.training for m in model.modules())
+
+
+def test_zero_grad_clears_all():
+    model = Sequential(Linear(3, 3), Linear(3, 1))
+    x = np.ones((2, 3))
+    out = model(x)
+    model.backward(np.ones_like(out))
+    assert any(np.abs(p.grad).sum() > 0 for p in model.parameters())
+    model.zero_grad()
+    assert all(np.abs(p.grad).sum() == 0 for p in model.parameters())
+
+
+def test_state_dict_roundtrip():
+    rng = np.random.default_rng(1)
+    m1 = Sequential(Linear(4, 3, rng=rng), Linear(3, 2, rng=rng))
+    m2 = Sequential(
+        Linear(4, 3, rng=np.random.default_rng(2)),
+        Linear(3, 2, rng=np.random.default_rng(3)),
+    )
+    m2.load_state_dict(m1.state_dict())
+    x = np.random.default_rng(4).normal(size=(5, 4))
+    np.testing.assert_allclose(m1(x), m2(x))
+
+
+def test_state_dict_returns_copies():
+    m = Sequential(Linear(2, 2))
+    state = m.state_dict()
+    state["layer0.weight"][...] = 99.0
+    assert not np.any(m.layers[0].weight.data == 99.0)
+
+
+def test_load_state_dict_strict_missing_key():
+    m = Sequential(Linear(2, 2))
+    with pytest.raises(KeyError):
+        m.load_state_dict({}, strict=True)
+    m.load_state_dict({}, strict=False)  # no error
+
+
+def test_identity_passthrough():
+    layer = Identity()
+    x = np.random.default_rng(0).normal(size=(2, 3))
+    np.testing.assert_array_equal(layer(x), x)
+    g = np.ones((2, 3))
+    np.testing.assert_array_equal(layer.backward(g), g)
+
+
+def test_sequential_indexing_and_slicing():
+    layers = [Linear(2, 2), ReLU(), Linear(2, 1)]
+    model = Sequential(*layers)
+    assert len(model) == 3
+    assert model[1] is layers[1]
+    sliced = model[:2]
+    assert isinstance(sliced, Sequential)
+    assert len(sliced) == 2
+    assert sliced[0] is layers[0]  # shared, not copied
+
+
+def test_sequential_append():
+    model = Sequential(Linear(2, 2))
+    model.append(ReLU())
+    assert len(model) == 2
+    assert "layer1" in model._children
+
+
+def test_buffer_registration_and_state():
+    class WithBuffer(Module):
+        def __init__(self):
+            super().__init__()
+            self.register_buffer("stat", np.zeros(3))
+
+        def forward(self, x):
+            return x
+
+    m = WithBuffer()
+    state = m.state_dict()
+    assert "stat" in state
+    m.load_state_dict({"stat": np.ones(3)})
+    np.testing.assert_array_equal(m.stat, np.ones(3))
+
+
+def test_set_buffer_unknown_name_raises():
+    class WithBuffer(Module):
+        def __init__(self):
+            super().__init__()
+            self.register_buffer("stat", np.zeros(3))
+
+        def forward(self, x):
+            return x
+
+    with pytest.raises(KeyError):
+        WithBuffer().set_buffer("nope", np.ones(3))

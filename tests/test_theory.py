@@ -1,0 +1,137 @@
+"""Empirical validation of the paper's theory (Lemma 1, Prop. 1).
+
+The early-exit loss l_m(z) = CE(W z + b, y) + (μ/2)‖z‖² is *exactly*
+μ-strongly convex in z (convex CE∘linear plus a μ-quadratic), so Lemma 1's
+perturbation bound
+
+    ‖Δz‖ ≤ ‖∇_z l_m(z)‖/μ + sqrt( 2c/μ + ‖∇_z l_m(z)‖²/μ² )
+
+must hold for every Δz whose loss increase is at most c.  These tests
+check the bound numerically, including under hypothesis-generated
+perturbations — if the bound ever failed, either the loss implementation
+or the lemma transcription would be wrong.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Linear, StrongConvexityLoss
+from repro.nn.losses import softmax
+from repro.nn.functional import one_hot
+
+
+def _loss_and_grad(head: Linear, mu: float, z: np.ndarray, y: int):
+    """Per-sample l_m(z) and ∇_z l_m(z) for a single flat feature z."""
+    zb = z[None, :]
+    logits = zb @ head.weight.data.T + head.bias.data
+    p = softmax(logits)[0]
+    ce = -np.log(max(p[y], 1e-300))
+    loss = ce + 0.5 * mu * float(z @ z)
+    grad = (p - one_hot(np.array([y]), head.out_features)[0]) @ head.weight.data + mu * z
+    return loss, grad
+
+
+def _lemma1_bound(grad_norm: float, c: float, mu: float) -> float:
+    c = max(c, 0.0)
+    return grad_norm / mu + np.sqrt(2 * c / mu + grad_norm**2 / mu**2)
+
+
+@pytest.mark.parametrize("mu", [0.1, 1.0, 10.0])
+def test_lemma1_bound_holds_for_random_perturbations(mu):
+    rng = np.random.default_rng(0)
+    head = Linear(8, 4, rng=rng)
+    z = rng.normal(size=8)
+    y = 2
+    base_loss, grad = _loss_and_grad(head, mu, z, y)
+    grad_norm = float(np.linalg.norm(grad))
+    for _ in range(100):
+        delta = rng.normal(size=8) * rng.uniform(0.01, 3.0)
+        perturbed_loss, _ = _loss_and_grad(head, mu, z + delta, y)
+        c = perturbed_loss - base_loss
+        bound = _lemma1_bound(grad_norm, c, mu)
+        assert np.linalg.norm(delta) <= bound + 1e-8
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    mu=st.floats(0.05, 20.0),
+    scale=st.floats(0.01, 5.0),
+)
+@settings(max_examples=60)
+def test_lemma1_bound_property(seed, mu, scale):
+    rng = np.random.default_rng(seed)
+    head = Linear(6, 3, rng=rng)
+    z = rng.normal(size=6)
+    y = int(rng.integers(0, 3))
+    base_loss, grad = _loss_and_grad(head, mu, z, y)
+    grad_norm = float(np.linalg.norm(grad))
+    delta = rng.normal(size=6) * scale
+    c = _loss_and_grad(head, mu, z + delta, y)[0] - base_loss
+    assert np.linalg.norm(delta) <= _lemma1_bound(grad_norm, c, mu) * (1 + 1e-9) + 1e-8
+
+
+def test_larger_mu_tightens_the_bound():
+    """Lemma 1's practical content: stronger convexity ⇒ smaller certified
+    output perturbation at the same robustness level c."""
+    c, grad_norm = 1.0, 0.5
+    bounds = [_lemma1_bound(grad_norm, c, mu) for mu in (0.1, 1.0, 10.0)]
+    assert bounds == sorted(bounds, reverse=True)
+
+
+def test_strong_convexity_loss_matches_reference():
+    """The library's StrongConvexityLoss agrees with the closed form used
+    in the lemma tests (single-sample batch)."""
+    rng = np.random.default_rng(1)
+    head = Linear(5, 3, rng=rng)
+    z = rng.normal(size=5)
+    y = 1
+    mu = 0.7
+    scl = StrongConvexityLoss(head, mu=mu)
+    lib_loss = scl(z[None, :], np.array([y]))
+    ref_loss, ref_grad = _loss_and_grad(head, mu, z, y)
+    assert lib_loss == pytest.approx(ref_loss)
+    lib_grad = scl.backward(accumulate_head_grads=False)[0]
+    np.testing.assert_allclose(lib_grad, ref_grad, rtol=1e-9, atol=1e-12)
+
+
+def test_proposition1_chain_composition():
+    """Prop. 1's induction step, checked numerically on two modules: if
+    each module's output displacement is bounded for inputs within its
+    input ball, the composed displacement is bounded by the chained
+    budgets."""
+    rng = np.random.default_rng(2)
+    from repro.models import build_cnn
+
+    model = build_cnn(2, 4, (3, 6, 6), base_channels=4, rng=rng)
+    model.eval()
+    seg1 = model.segment(0, 1)
+    seg2 = model.segment(1, 2)
+    x = rng.uniform(0.3, 0.7, size=(16, 3, 6, 6))
+    z1 = seg1(x)
+
+    eps0 = 0.05
+    # empirical eps1: max displacement of z1 over random eps0-balls
+    disps = []
+    for _ in range(20):
+        delta = rng.uniform(-eps0, eps0, size=x.shape)
+        disps.append(np.linalg.norm((seg1(x + delta) - z1).reshape(len(x), -1), axis=1))
+    eps1 = np.max(disps) * 1.01
+
+    # any input perturbation within eps0 must displace z2 by at most the
+    # max displacement of z2 over the eps1 ball around z1
+    z2 = seg2(z1)
+    z2_ball = []
+    for _ in range(20):
+        d = rng.normal(size=z1.shape)
+        d = d / np.linalg.norm(d.reshape(len(x), -1), axis=1).reshape(-1, 1, 1, 1) * eps1
+        z2_ball.append(np.linalg.norm((seg2(z1 + d) - z2).reshape(len(x), -1), axis=1))
+    # the chain bound is finite and positive — the qualitative content
+    assert np.isfinite(np.max(z2_ball))
+    delta = rng.uniform(-eps0, eps0, size=x.shape)
+    composed = np.linalg.norm(
+        (seg2(seg1(x + delta)) - z2).reshape(len(x), -1), axis=1
+    )
+    # composed displacement stays within the same order as the ball sweep
+    assert composed.max() <= 10 * max(np.max(z2_ball), 1e-6)

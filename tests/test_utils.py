@@ -1,0 +1,123 @@
+"""Tests for utilities: RNG streams, serialization, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.models import build_cnn
+from repro.utils import (
+    format_table,
+    load_model,
+    load_state,
+    save_model,
+    save_state,
+    seeded_rng,
+    spawn_rngs,
+)
+
+
+class TestRng:
+    def test_seeded_rng_reproducible(self):
+        a = seeded_rng(5).normal(size=4)
+        b = seeded_rng(5).normal(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(0, 3)
+        assert len(rngs) == 3
+        draws = [r.normal(size=4) for r in rngs]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_rngs_reproducible(self):
+        a = spawn_rngs(7, 2)[1].normal(size=3)
+        b = spawn_rngs(7, 2)[1].normal(size=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSerialization:
+    def test_state_roundtrip(self, tmp_path):
+        state = {"a.weight": np.random.default_rng(0).normal(size=(3, 2)), "b": np.arange(4.0)}
+        path = str(tmp_path / "ckpt.npz")
+        save_state(path, state)
+        loaded = load_state(path)
+        assert set(loaded) == set(state)
+        for k in state:
+            np.testing.assert_array_equal(loaded[k], state[k])
+
+    def test_model_roundtrip(self, tmp_path):
+        m1 = build_cnn(2, 4, (3, 8, 8), base_channels=4, rng=np.random.default_rng(0))
+        m2 = build_cnn(2, 4, (3, 8, 8), base_channels=4, rng=np.random.default_rng(1))
+        path = str(tmp_path / "model.npz")
+        save_model(path, m1)
+        load_model(path, m2)
+        x = np.random.default_rng(2).normal(size=(2, 3, 8, 8))
+        m1.eval()
+        m2.eval()
+        np.testing.assert_allclose(m1(x), m2(x))
+
+    def test_save_creates_directories(self, tmp_path):
+        path = str(tmp_path / "nested" / "dir" / "s.npz")
+        save_state(path, {"x": np.zeros(2)})
+        assert load_state(path)["x"].shape == (2,)
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["partition", "--model", "vgg11"])
+        assert args.command == "partition"
+
+    def test_partition_command_runs(self, capsys):
+        rc = main([
+            "partition", "--model", "cnn3", "--image-size", "16",
+            "--batch-size", "8", "--r-min-fraction", "0.5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "modules" in out and "MemReq" in out
+
+    def test_partition_low_bit_fewer_or_equal_modules(self, capsys):
+        main(["partition", "--model", "vgg16", "--r-min-mb", "60"])
+        fp32 = capsys.readouterr().out
+        main(["partition", "--model", "vgg16", "--r-min-mb", "60", "--bytes-per-scalar", "2"])
+        fp16 = capsys.readouterr().out
+
+        def count(out):
+            return int(out.split(" modules")[0].rsplit(" ", 1)[-1])
+
+        assert count(fp16) <= count(fp32)
+
+    def test_devices_command_runs(self, capsys):
+        rc = main(["devices", "--pool", "cifar10", "--samples", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TX2" in out and "avail mem" in out
+
+    def test_train_command_tiny_run(self, capsys):
+        rc = main([
+            "train", "--method", "jfat", "--rounds", "1", "--clients", "4",
+            "--clients-per-round", "2", "--local-iters", "1",
+            "--train-per-class", "10", "--pgd-steps", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "PGD" in out
+
+
+class TestLowBitMemoryModel:
+    def test_half_precision_halves_footprint(self):
+        from repro.hardware import MemoryModel
+
+        m = build_cnn(2, 4, (3, 8, 8), base_channels=4, rng=np.random.default_rng(0))
+        fp32 = MemoryModel(batch_size=8, bytes_per_scalar=4).bytes_for(m, (3, 8, 8))
+        fp16 = MemoryModel(batch_size=8, bytes_per_scalar=2).bytes_for(m, (3, 8, 8))
+        assert fp16 * 2 == fp32
+
+    def test_validation(self):
+        from repro.hardware import MemoryModel
+
+        with pytest.raises(ValueError):
+            MemoryModel(batch_size=0)
+        with pytest.raises(ValueError):
+            MemoryModel(bytes_per_scalar=0)
