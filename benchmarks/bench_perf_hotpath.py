@@ -1,0 +1,224 @@
+"""Hot-path performance benchmark: the fast-path execution engine vs seed.
+
+Measures samples/sec for the three dominant hot paths of the FedProphet
+reproduction —
+
+* conv forward / backward (the substrate's inner loop),
+* a PGD-10 attack against a frozen model (robust evaluation / inner max),
+* one full FedProphet communication round at module 1 (prefix + cascade),
+
+each under two execution modes *in the same run*:
+
+* ``baseline`` — the seed behaviour: float64 compute, full parameter
+  gradients during attacks, no frozen-prefix activation cache;
+* ``fast``     — the fast-path engine: float32 compute policy,
+  input-grad-only attacks, frozen-prefix cache enabled.
+
+Writes ``BENCH_PERF.json`` (repo root) with the before/after table that
+seeds the perf trajectory.  Scale via ``REPRO_BENCH_SCALE``: "quick"
+(CI-sized, default) or "full".
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf_hotpath.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.attacks import ModelWithLoss, PGDConfig, pgd_attack
+from repro.core import FedProphet, FedProphetConfig
+from repro.data import make_cifar10_like
+from repro.models import build_vgg
+from repro.nn import ConvBNReLU, Sequential, dtype_scope, set_fast_path
+from repro.utils import format_table
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+SCALES = {
+    # (conv batch, conv reps, pgd batch, pgd steps, round local_iters, round clients)
+    "quick": dict(conv_batch=64, reps=3, pgd_batch=64, pgd_steps=10,
+                  local_iters=6, clients_per_round=3, train_per_class=40),
+    "full": dict(conv_batch=128, reps=5, pgd_batch=128, pgd_steps=10,
+                 local_iters=8, clients_per_round=5, train_per_class=80),
+}
+
+MODES = {
+    "baseline": dict(dtype=np.float64, fast_path=False, cache=False),
+    "fast": dict(dtype=np.float32, fast_path=True, cache=True),
+}
+
+
+def _best_of(fn: Callable[[], None], reps: int) -> float:
+    """Best wall-clock of ``reps`` timed calls (after one warmup)."""
+    fn()
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ------------------------------------------------------------------------
+# Workloads.  Each returns (seconds, samples) under the *active* dtype
+# scope; models/data are rebuilt per mode so parameters and activations
+# live in the mode's dtype.
+# ------------------------------------------------------------------------
+
+
+def bench_conv(params: dict) -> Dict[str, Tuple[float, int]]:
+    """Forward and backward over a small conv stack."""
+    rng = np.random.default_rng(0)
+    model = Sequential(
+        ConvBNReLU(3, 32, rng=rng),
+        ConvBNReLU(32, 64, rng=rng),
+        ConvBNReLU(64, 64, rng=rng),
+    )
+    model.train()
+    n = params["conv_batch"]
+    x = rng.normal(size=(n, 3, 16, 16)).astype(np.asarray(model.parameters()[0].data).dtype)
+    out = model(x)
+    g = rng.normal(size=out.shape).astype(x.dtype)
+
+    def fwd():
+        model(x)
+
+    def bwd():
+        model(x)  # repopulate single-shot caches consumed by backward
+        model.backward(g)
+
+    t_fwd = _best_of(fwd, params["reps"])
+    t_fwdbwd = _best_of(bwd, params["reps"])
+    return {
+        "conv_forward": (t_fwd, n),
+        "conv_forward_backward": (t_fwdbwd, n),
+    }
+
+
+def bench_pgd(params: dict) -> Dict[str, Tuple[float, int]]:
+    """A PGD-10 linf attack against a frozen (eval-mode) VGG."""
+    rng = np.random.default_rng(1)
+    model = build_vgg("vgg11", 10, (3, 16, 16), width_mult=0.25, rng=rng)
+    model.eval()
+    mwl = ModelWithLoss(model)
+    n = params["pgd_batch"]
+    x = rng.uniform(0.0, 1.0, size=(n, 3, 16, 16)).astype(
+        model.parameters()[0].data.dtype
+    )
+    y = rng.integers(0, 10, size=n)
+    cfg = PGDConfig(eps=8 / 255, steps=params["pgd_steps"], norm="linf")
+
+    def attack():
+        pgd_attack(mwl, x, y, cfg, rng=np.random.default_rng(2))
+        model.zero_grad()
+
+    t = _best_of(attack, params["reps"])
+    return {"pgd10_attack": (t, n)}
+
+
+def bench_fed_round(params: dict, use_cache: bool) -> Dict[str, Tuple[float, int]]:
+    """One FedProphet communication round at module 1 (prefix active)."""
+    task = make_cifar10_like(
+        image_size=8, train_per_class=params["train_per_class"],
+        test_per_class=10, seed=0,
+    )
+    cfg = FedProphetConfig(
+        num_clients=6, clients_per_round=params["clients_per_round"],
+        local_iters=params["local_iters"], batch_size=32, lr=0.05,
+        rounds=4, train_pgd_steps=3, eval_pgd_steps=2, eval_every=0,
+        seed=0, rounds_per_module=2, patience=2, r_min_fraction=0.35,
+        val_samples=32, val_pgd_steps=2, use_prefix_cache=use_cache,
+    )
+    exp = FedProphet(
+        task,
+        lambda rng: build_vgg("vgg11", 10, (3, 8, 8), width_mult=0.25, rng=rng),
+        cfg,
+    )
+    # Jump straight to module 1 so the frozen prefix (module 0) is on the
+    # hot path, as it is for most of a real FedProphet run.
+    exp.current_module = 1
+    exp.eps_feature = 0.5
+    clients, states = exp.sample_round(0)
+
+    def one_round():
+        exp.run_round(0, clients, states)
+
+    t = _best_of(one_round, params["reps"])
+    samples = cfg.clients_per_round * cfg.local_iters * cfg.batch_size
+    stats = exp.prefix_cache.stats() if exp.prefix_cache is not None else None
+    return {"federated_round": (t, samples, stats)}
+
+
+def run_mode(mode: str, params: dict) -> Dict[str, dict]:
+    spec = MODES[mode]
+    previous = set_fast_path(spec["fast_path"])
+    results: Dict[str, dict] = {}
+    try:
+        with dtype_scope(spec["dtype"]):
+            for name, (secs, n) in bench_conv(params).items():
+                results[name] = {"seconds": secs, "samples_per_sec": n / secs}
+            for name, (secs, n) in bench_pgd(params).items():
+                results[name] = {"seconds": secs, "samples_per_sec": n / secs}
+            for name, (secs, n, stats) in bench_fed_round(
+                params, use_cache=spec["cache"]
+            ).items():
+                results[name] = {"seconds": secs, "samples_per_sec": n / secs}
+                if stats is not None:
+                    results[name]["prefix_cache"] = stats
+    finally:
+        set_fast_path(previous)
+    return results
+
+
+def main() -> dict:
+    if SCALE not in SCALES:
+        raise SystemExit(
+            f"unknown REPRO_BENCH_SCALE {SCALE!r}; expected one of {sorted(SCALES)}"
+        )
+    params = SCALES[SCALE]
+    report = {"bench": "perf_hotpath", "scale": SCALE, "modes": {}, "speedups": {}}
+    for mode in ("baseline", "fast"):
+        report["modes"][mode] = run_mode(mode, params)
+
+    rows = []
+    for name in report["modes"]["baseline"]:
+        base = report["modes"]["baseline"][name]["samples_per_sec"]
+        fast = report["modes"]["fast"][name]["samples_per_sec"]
+        speedup = fast / base
+        report["speedups"][name] = speedup
+        rows.append((name, f"{base:.1f}", f"{fast:.1f}", f"{speedup:.2f}x"))
+
+    print(
+        format_table(
+            ["hot path", "baseline (samples/s)", "fast (samples/s)", "speedup"],
+            rows,
+            title=f"Fast-path execution engine — scale={SCALE}",
+        )
+    )
+
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    # REPRO_BENCH_ENFORCE=0 turns the gate into a report-only smoke run
+    # (shared CI runners are too noisy to fail a build on a timing).
+    enforce = os.environ.get("REPRO_BENCH_ENFORCE", "1") != "0"
+    for hot in ("pgd10_attack", "federated_round"):
+        if report["speedups"][hot] < 2.0:
+            msg = f"{hot} speedup {report['speedups'][hot]:.2f}x < 2.0x"
+            if enforce:
+                raise SystemExit(f"FAIL: {msg}")
+            print(f"WARN (not enforced): {msg}")
+    if enforce:
+        print("OK: >=2x speedup on PGD attack and federated round")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@ import numpy as np
 from repro.attacks.base import ModelWithLoss
 from repro.attacks.fgsm import fgsm_attack
 from repro.attacks.pgd import PGDConfig, gradient_step, pgd_attack, project, random_init
+from repro.nn.grad_mode import attack_grad_scope
 
 
 def _checkpoints(steps: int) -> List[int]:
@@ -54,7 +55,7 @@ def apgd_attack(
     checks = _checkpoints(steps)
 
     for _ in range(max(1, restarts)):
-        delta = random_init(x.shape, eps, norm, rng)
+        delta = random_init(x.shape, eps, norm, rng, dtype=x.dtype)
         if clip is not None:
             delta = np.clip(x + delta, clip[0], clip[1]) - x
         alpha = 2.0 * eps
@@ -64,7 +65,8 @@ def apgd_attack(
         loss_at_last_check = best_loss.copy()
 
         for step in range(steps):
-            _, grad = mwl.loss_and_input_grad(x + delta, y)
+            with attack_grad_scope():
+                _, grad = mwl.loss_and_input_grad(x + delta, y)
             # momentum: z = delta + step, new = delta + 0.75*(z-delta)+0.25*(delta-prev)
             z = delta + gradient_step(grad, alpha, norm)
             z = project(z, eps, norm)

@@ -6,6 +6,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn.grad_mode import attack_grad_scope
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import Module
 
@@ -38,9 +39,12 @@ class ModelWithLoss:
         return self.head(out), None
 
     def logits(self, x: np.ndarray) -> np.ndarray:
-        out = self.model(x)
-        if self.head is not None:
-            out, _ = self._apply_head(out)
+        # Forward-only: never followed by a backward pass, so skip the
+        # weight-gradient caches entirely.
+        with attack_grad_scope():
+            out = self.model(x)
+            if self.head is not None:
+                out, _ = self._apply_head(out)
         return out
 
     def loss_and_input_grad(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, np.ndarray]:

@@ -7,6 +7,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.attacks.base import ModelWithLoss
+from repro.nn.grad_mode import attack_grad_scope
 
 
 def fgsm_attack(
@@ -19,7 +20,8 @@ def fgsm_attack(
     """Single-step ℓ∞ attack: ``x + eps * sign(grad)``."""
     if eps < 0:
         raise ValueError("eps must be non-negative")
-    _, grad = mwl.loss_and_input_grad(x, y)
+    with attack_grad_scope():
+        _, grad = mwl.loss_and_input_grad(x, y)
     adv = x + eps * np.sign(grad)
     if clip is not None:
         adv = np.clip(adv, clip[0], clip[1])

@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.attacks.base import ModelWithLoss
+from repro.nn.grad_mode import attack_grad_scope
 
 _EPS_DIV = 1e-12
 
@@ -63,16 +64,32 @@ def project(delta: np.ndarray, eps: float, norm: str) -> np.ndarray:
     return delta * factor
 
 
-def random_init(shape: Tuple[int, ...], eps: float, norm: str, rng: np.random.Generator) -> np.ndarray:
-    """Random start inside the ε-ball."""
+def random_init(
+    shape: Tuple[int, ...],
+    eps: float,
+    norm: str,
+    rng: np.random.Generator,
+    dtype=None,
+) -> np.ndarray:
+    """Random start inside the ε-ball.
+
+    Draws in float64 (keeping the random stream identical across compute
+    dtypes), then casts to ``dtype`` so the perturbed input stays in the
+    model's compute dtype instead of silently promoting every forward pass
+    to float64.
+    """
     if norm == "linf":
-        return rng.uniform(-eps, eps, size=shape)
-    delta = rng.normal(size=shape)
-    norms = _flat_l2(delta)
-    radii = rng.uniform(0.0, 1.0, size=(shape[0],) + (1,) * (len(shape) - 1)) ** (
-        1.0 / max(1, int(np.prod(shape[1:])))
-    )
-    return delta / (norms + _EPS_DIV) * radii * eps
+        delta = rng.uniform(-eps, eps, size=shape)
+    else:
+        delta = rng.normal(size=shape)
+        norms = _flat_l2(delta)
+        radii = rng.uniform(0.0, 1.0, size=(shape[0],) + (1,) * (len(shape) - 1)) ** (
+            1.0 / max(1, int(np.prod(shape[1:])))
+        )
+        delta = delta / (norms + _EPS_DIV) * radii * eps
+    if dtype is not None:
+        delta = delta.astype(dtype, copy=False)
+    return delta
 
 
 def gradient_step(grad: np.ndarray, alpha: float, norm: str) -> np.ndarray:
@@ -92,24 +109,27 @@ def pgd_attack(
 ) -> np.ndarray:
     """Run PGD and return the adversarial inputs ``x + delta``.
 
-    The model is used as-is (caller controls train/eval mode); parameter
-    gradients accumulated during the attack are the caller's to clear.
+    The model is used as-is (caller controls train/eval mode).  The whole
+    attack runs input-grad-only (:func:`repro.nn.grad_mode.attack_grad_scope`):
+    no parameter gradients are accumulated and the layers skip the forward
+    caches that only the weight-gradient path needs.
     """
     if config.eps == 0.0:
         return x.copy()
     rng = rng if rng is not None else np.random.default_rng(0)
     if config.rand_init:
-        delta = random_init(x.shape, config.eps, config.norm, rng)
+        delta = random_init(x.shape, config.eps, config.norm, rng, dtype=x.dtype)
     else:
         delta = np.zeros_like(x)
     if config.clip is not None:
         lo, hi = config.clip
         delta = np.clip(x + delta, lo, hi) - x
-    for _ in range(config.steps):
-        _, grad = mwl.loss_and_input_grad(x + delta, y)
-        delta = delta + gradient_step(grad, config.alpha, config.norm)
-        delta = project(delta, config.eps, config.norm)
-        if config.clip is not None:
-            lo, hi = config.clip
-            delta = np.clip(x + delta, lo, hi) - x
+    with attack_grad_scope():
+        for _ in range(config.steps):
+            _, grad = mwl.loss_and_input_grad(x + delta, y)
+            delta = delta + gradient_step(grad, config.alpha, config.norm)
+            delta = project(delta, config.eps, config.norm)
+            if config.clip is not None:
+                lo, hi = config.clip
+                delta = np.clip(x + delta, lo, hi) - x
     return x + delta

@@ -54,7 +54,7 @@ def ensemble_soft_targets(
         return (w * probs).sum(axis=0)
     if weights is None:
         return probs.mean(axis=0)
-    w = np.asarray(weights, dtype=np.float64)
+    w = np.asarray(weights, dtype=probs.dtype)
     w = w / w.sum()
     return np.einsum("t,tnk->nk", w, probs)
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.models.atoms import Atom, CascadeModel
 from repro.nn.activations import LeakyReLU, ReLU, Tanh
+from repro.nn.dtype import accum_dtype
 from repro.nn.blocks import BasicBlock, ConvBNReLU
 from repro.nn.conv import Conv2d
 from repro.nn.functional import conv_output_size
@@ -276,8 +277,12 @@ def scatter_submodel_state(
     scattered: Dict[str, np.ndarray] = {}
     mask: Dict[str, np.ndarray] = {}
     for key, template in global_template.items():
-        out = np.zeros_like(template, dtype=np.float64)
-        cover = np.zeros_like(template, dtype=np.float64)
+        contributed = (
+            (sub_state[key],) if key in index_map and key in sub_state else ()
+        )
+        dtype = accum_dtype(template, *contributed)
+        out = np.zeros_like(template, dtype=dtype)
+        cover = np.zeros_like(template, dtype=dtype)
         if key in index_map and key in sub_state:
             axes = index_map[key]
             if len(axes) < template.ndim:

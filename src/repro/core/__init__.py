@@ -10,6 +10,7 @@
 """
 
 from repro.core.config import FedProphetConfig
+from repro.core.prefix_cache import PrefixCache
 from repro.core.heads import AuxHead, head_input_dim
 from repro.core.partitioner import Partition, partition_model, aux_head_bytes
 from repro.core.cascade import CascadeLossModel, cascade_local_train, measure_output_perturbation
@@ -20,6 +21,7 @@ from repro.core.prophet import FedProphet
 
 __all__ = [
     "FedProphetConfig",
+    "PrefixCache",
     "AuxHead",
     "head_input_dim",
     "Partition",

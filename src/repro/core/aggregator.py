@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.partitioner import Partition
+from repro.flsim.aggregation import weighted_average_states
 from repro.models.atoms import CascadeModel
 from repro.nn.module import Module
 
@@ -64,12 +65,12 @@ def aggregate_modules(
             continue
         start, stop = partition[n]
         keys = atom_param_names(model, start, stop)
-        total = sum(w for _, w in trainers)
-        for key in keys:
-            acc = np.zeros_like(trainers[0][0][key], dtype=np.float64)
-            for state, w in trainers:
-                acc += (w / total) * state[key]
-            out[key] = acc
+        out.update(
+            weighted_average_states(
+                [{k: state[k] for k in keys} for state, _ in trainers],
+                [w for _, w in trainers],
+            )
+        )
     return out
 
 
@@ -90,11 +91,7 @@ def aggregate_heads(
         ]
         if not trainers:
             continue
-        total = sum(w for _, w in trainers)
-        merged: StateDict = {}
-        for key in trainers[0][0]:
-            acc = np.zeros_like(trainers[0][0][key], dtype=np.float64)
-            for state, w in trainers:
-                acc += (w / total) * state[key]
-            merged[key] = acc
+        merged = weighted_average_states(
+            [state for state, _ in trainers], [w for _, w in trainers]
+        )
         head.load_state_dict(merged)

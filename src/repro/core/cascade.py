@@ -20,8 +20,10 @@ import numpy as np
 
 from repro.attacks.pgd import PGDConfig, pgd_attack
 from repro.core.heads import AuxHead
+from repro.core.prefix_cache import PrefixCache
 from repro.data.dataset import ArrayDataset, DataLoader
 from repro.models.atoms import CascadeModel
+from repro.nn.grad_mode import attack_grad_scope
 from repro.nn.losses import CrossEntropyLoss, log_softmax
 from repro.nn.module import Module
 from repro.optim.sgd import SGD
@@ -117,12 +119,19 @@ def cascade_local_train(
     momentum: float = 0.9,
     weight_decay: float = 1e-4,
     rng: Optional[np.random.Generator] = None,
+    prefix_cache: Optional[PrefixCache] = None,
+    cache_key: Optional[object] = None,
 ) -> float:
     """Run E local iterations of adversarial cascade training.
 
     Mutates the parameters of the assigned atoms and head in place (the
     caller snapshots/aggregates state dicts).  Returns the mean training
     loss.
+
+    With a ``prefix_cache``, the eval-mode forward through the frozen
+    prefix (atoms before ``spec.start_atom``) is memoised per sample under
+    ``(cache_key, prefix length)`` — the caller is responsible for
+    invalidating the cache whenever the global model changes.
     """
     rng = rng if rng is not None else np.random.default_rng(0)
     segment = model.segment(spec.start_atom, spec.stop_atom)
@@ -141,17 +150,27 @@ def cascade_local_train(
     is_first = spec.start_atom == 0
     pgd = _attack_config(is_first, eps0, eps_feature, attack_steps)
 
+    def prefix_forward(xb: np.ndarray) -> np.ndarray:
+        # The frozen prefix is never backpropagated through: run it
+        # input-grad-only so its layers skip weight-gradient caches.
+        with attack_grad_scope():
+            return model.forward_until(xb, spec.start_atom)
+
     loader = DataLoader(
         dataset, batch_size=min(batch_size, len(dataset)), shuffle=True, rng=rng
     )
     losses: List[float] = []
-    batches = loader.infinite()
+    batches = loader.infinite_with_indices()
     for _ in range(iterations):
-        x, y = next(batches)
+        idx, x, y = next(batches)
         if is_first:
             z_in = x
+        elif prefix_cache is not None:
+            z_in = prefix_cache.fetch(
+                (cache_key, spec.start_atom), idx, x, prefix_forward, len(dataset)
+            )
         else:
-            z_in = model.forward_until(x, spec.start_atom)
+            z_in = prefix_forward(x)
         z_adv = pgd_attack(loss_model, z_in, y, pgd, rng=rng)
         opt.zero_grad()  # discard gradients accumulated by the attack
         loss, _ = loss_model.loss_and_input_grad(z_adv, y)
@@ -189,9 +208,11 @@ def measure_output_perturbation(
     n = min(batch_size, len(dataset))
     idx = rng.choice(len(dataset), size=n, replace=False)
     x, y = dataset.x[idx], dataset.y[idx]
-    z_in = x if is_first else model.forward_until(x, start_atom)
+    with attack_grad_scope():
+        z_in = x if is_first else model.forward_until(x, start_atom)
     z_adv_in = pgd_attack(loss_model, z_in, y, pgd, rng=rng)
-    z = segment(z_in)
-    z_adv = segment(z_adv_in)
+    with attack_grad_scope():
+        z = segment(z_in)
+        z_adv = segment(z_adv_in)
     diff = (z_adv - z).reshape(n, -1)
     return float(np.sqrt((diff**2).sum(axis=1)).max())

@@ -28,6 +28,11 @@ class FedProphetConfig(FLConfig):
         (50 rounds without validation-accuracy improvement).
     use_apa / use_dma:
         Ablation switches (Table 3).
+    use_prefix_cache:
+        Memoise frozen-prefix activations per (client, sample) during a
+        round (invalidated whenever the global model advances).  Pure
+        execution-engine optimisation: results are bit-identical with the
+        cache on or off.
     feature_pgd_steps:
         PGD steps for the inner maximisation on intermediate features
         (defaults to ``train_pgd_steps``).
@@ -45,6 +50,7 @@ class FedProphetConfig(FLConfig):
     patience: int = 50
     use_apa: bool = True
     use_dma: bool = True
+    use_prefix_cache: bool = True
     val_samples: int = 128
     val_pgd_steps: int = 10
     feature_pgd_steps: Optional[int] = None

@@ -1,0 +1,144 @@
+"""Frozen-prefix activation cache for cascade training.
+
+During a module-m training stage, the cascade prefix (atoms before the
+current module) is *frozen*: its parameters are fixed for the whole stage
+and it always runs in eval mode, so the feature ``z_{m-1}`` it produces
+for a given sample is a pure function of (prefix weights, sample).  The
+seed implementation nevertheless re-ran ``model.forward_until`` for every
+local-training batch — and client datasets are small enough that each
+sample is revisited several times per round (multiple local epochs) and
+again on every round the client is sampled.
+
+:class:`PrefixCache` memoises those prefix forwards at *per-sample*
+granularity, keyed by ``(client key, prefix length)``, so cache hits
+survive the data loader's per-epoch reshuffling (batch composition
+changes every epoch; sample identity does not).  Lookups return
+bit-identical features to a fresh forward because every per-sample
+computation in the substrate (im2col, batched matmul, eval-mode BN) is
+independent of batch composition.
+
+Invalidation is explicit and coarse: :meth:`PrefixCache.invalidate` drops
+everything, and :class:`repro.core.prophet.FedProphet` calls it whenever
+the global model advances a round.  That is conservative — the prefix is
+frozen for the whole stage — but makes correctness trivially auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+
+class _Entry:
+    """Lazily-allocated per-sample feature store for one (client, prefix)."""
+
+    __slots__ = ("data", "filled")
+
+    def __init__(self, num_samples: int):
+        self.data: Optional[np.ndarray] = None
+        self.filled = np.zeros(num_samples, dtype=bool)
+
+    def nbytes(self) -> int:
+        return int(self.data.nbytes) if self.data is not None else 0
+
+
+class PrefixCache:
+    """Keyed per-sample memoisation of frozen-prefix forward passes.
+
+    Parameters
+    ----------
+    max_bytes:
+        Soft capacity; when allocating a new entry would exceed it, the
+        oldest entries are evicted first (insertion order).  ``None``
+        means unbounded.
+    """
+
+    def __init__(self, max_bytes: Optional[int] = 512 * 1024 * 1024):
+        self.max_bytes = max_bytes
+        self._entries: Dict[Hashable, _Entry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # -- bookkeeping -------------------------------------------------------
+    def nbytes(self) -> int:
+        return sum(e.nbytes() for e in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "entries": len(self._entries),
+            "bytes": self.nbytes(),
+            "invalidations": self.invalidations,
+        }
+
+    def invalidate(self) -> None:
+        """Drop all cached activations (the global model advanced)."""
+        self._entries.clear()
+        self.invalidations += 1
+
+    def _evict_for(self, key: Hashable, incoming_bytes: int) -> None:
+        """Evict oldest entries (never ``key`` itself) to make room."""
+        if self.max_bytes is None:
+            return
+        for victim in list(self._entries):
+            if self.nbytes() + incoming_bytes <= self.max_bytes:
+                break
+            if victim != key:
+                del self._entries[victim]
+
+    # -- the lookup --------------------------------------------------------
+    def fetch(
+        self,
+        key: Hashable,
+        indices: np.ndarray,
+        x: np.ndarray,
+        forward_fn: Callable[[np.ndarray], np.ndarray],
+        num_samples: int,
+    ) -> np.ndarray:
+        """Prefix features for dataset rows ``indices`` (inputs ``x``).
+
+        Rows already cached under ``key`` are returned from the store;
+        the rest are computed in one batched ``forward_fn`` call and
+        cached.  The returned array is a fresh copy — callers may hand it
+        to attacks that build perturbed views without aliasing the cache.
+        """
+        indices = np.asarray(indices)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _Entry(num_samples)
+            self._entries[key] = entry
+        missing = ~entry.filled[indices]
+        if missing.any():
+            z_new = forward_fn(x[missing] if not missing.all() else x)
+            if entry.data is None:
+                entry_bytes = z_new.dtype.itemsize * num_samples * int(
+                    np.prod(z_new.shape[1:])
+                )
+                if self.max_bytes is not None and entry_bytes > self.max_bytes:
+                    # One client's features alone exceed the budget: don't
+                    # thrash everyone else's entries for a cache that can
+                    # never be retained — just pass the computation through.
+                    del self._entries[key]
+                    self.misses += int(missing.sum())
+                    if missing.all():
+                        return z_new
+                    raise AssertionError(
+                        "uncacheable entry can only be partially filled if "
+                        "it was previously stored"
+                    )
+                self._evict_for(key, entry_bytes)
+                entry.data = np.empty((num_samples,) + z_new.shape[1:], dtype=z_new.dtype)
+            rows = indices[missing]
+            entry.data[rows] = z_new
+            entry.filled[rows] = True
+            self.misses += int(missing.sum())
+        self.hits += int((~missing).sum())
+        return entry.data[indices]

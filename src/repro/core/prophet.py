@@ -34,6 +34,7 @@ from repro.core.cascade import (
 from repro.core.config import FedProphetConfig
 from repro.core.dma import SegmentCostTable, assign_modules
 from repro.core.partitioner import full_model_mem_bytes, partition_model
+from repro.core.prefix_cache import PrefixCache
 from repro.flsim.base import FederatedExperiment, FLClient, RoundRecord
 from repro.hardware.devices import DeviceSampler, DeviceState
 from repro.hardware.flops import BACKWARD_MULTIPLIER
@@ -110,6 +111,7 @@ class FedProphet(FederatedExperiment):
             enabled=config.use_apa,
         )
         self.current_module = 0
+        self.prefix_cache = PrefixCache() if config.use_prefix_cache else None
         self.eps_feature = 0.0  # ε_{m-1}; unused for module 0 (raw-input ℓ∞)
         self.eps_star: List[float] = []  # fixed ε*_{m-1} per completed module
         self.stage_results: List[ModuleStageResult] = []
@@ -161,6 +163,12 @@ class FedProphet(FederatedExperiment):
     ) -> List[LocalTrainingCost]:
         m = self.current_module
         cfg = self.config
+        if self.prefix_cache is not None:
+            # The global model advanced since the previous round's
+            # aggregation: cached prefix activations are (conservatively)
+            # stale.  Within the round the prefix is frozen, so each
+            # client's samples are forwarded through it at most once.
+            self.prefix_cache.invalidate()
         assignments = assign_modules(self.cost_table, m, states, enabled=cfg.use_dma)
         start_atom = self.partition[m][0]
 
@@ -194,6 +202,8 @@ class FedProphet(FederatedExperiment):
                 momentum=cfg.momentum,
                 weight_decay=cfg.weight_decay,
                 rng=client_rng,
+                prefix_cache=self.prefix_cache,
+                cache_key=client.cid,
             )
             seg_states.append(extract_segment_state(self.global_model, start_atom, stop_atom))
             client_head_states.append(

@@ -61,15 +61,37 @@ class DataLoader:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
-    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    def _epoch_indices(self) -> Iterator[np.ndarray]:
         n = len(self.dataset)
         order = self.rng.permutation(n) if self.shuffle else np.arange(n)
         stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
         for start in range(0, stop, self.batch_size):
-            idx = order[start : start + self.batch_size]
+            yield order[start : start + self.batch_size]
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        for idx in self._epoch_indices():
             yield self.dataset.x[idx], self.dataset.y[idx]
+
+    def iter_with_indices(
+        self,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """One epoch of ``(indices, x, y)`` batches.
+
+        The dataset row indices let callers key per-sample caches (e.g. the
+        frozen-prefix activation cache) in a way that survives reshuffling.
+        Consumes the rng identically to ``__iter__``.
+        """
+        for idx in self._epoch_indices():
+            yield idx, self.dataset.x[idx], self.dataset.y[idx]
 
     def infinite(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         """Endless batch stream (FL local steps count iterations, not epochs)."""
         while True:
             yield from self
+
+    def infinite_with_indices(
+        self,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Endless ``(indices, x, y)`` stream; see :meth:`iter_with_indices`."""
+        while True:
+            yield from self.iter_with_indices()

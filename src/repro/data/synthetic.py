@@ -24,6 +24,7 @@ import numpy as np
 from scipy import ndimage
 
 from repro.data.dataset import ArrayDataset
+from repro.nn.dtype import compute_dtype
 
 
 def _smooth_field(shape: Tuple[int, int, int], coarse: int, rng: np.random.Generator) -> np.ndarray:
@@ -93,7 +94,7 @@ def make_synthetic_task(
             x = np.clip(contrast * proto[None] + brightness + eps, 0.0, 1.0)
             xs.append(x)
             ys.append(np.full(per_class, cls, dtype=np.int64))
-        x = np.concatenate(xs).astype(np.float64)
+        x = np.concatenate(xs).astype(compute_dtype())
         y = np.concatenate(ys)
         order = rng.permutation(len(y))
         return ArrayDataset(x[order], y[order])

@@ -6,6 +6,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import accum_dtype
+
 StateDict = Dict[str, np.ndarray]
 
 
@@ -22,7 +24,7 @@ def weighted_average_states(
         raise ValueError("weights must sum to a positive value")
     out: StateDict = {}
     for key in states[0]:
-        acc = np.zeros_like(states[0][key], dtype=np.float64)
+        acc = np.zeros_like(states[0][key], dtype=accum_dtype(*(s[key] for s in states)))
         for state, w in zip(states, weights):
             acc += (w / total) * state[key]
         out[key] = acc
@@ -47,14 +49,15 @@ def masked_partial_average(
     """
     out: StateDict = {}
     for key, g in global_state.items():
-        num = np.zeros_like(g, dtype=np.float64)
-        den = np.zeros_like(g, dtype=np.float64)
+        dtype = accum_dtype(g, *(s[key] for s, _, _ in updates if key in s))
+        num = np.zeros_like(g, dtype=dtype)
+        den = np.zeros_like(g, dtype=dtype)
         for state, mask, w in updates:
             if key in state:
                 num += w * state[key]
                 den += w * mask[key]
         covered = den > 0
-        merged = g.astype(np.float64).copy()
+        merged = np.array(g, dtype=dtype)
         merged[covered] = num[covered] / den[covered]
         out[key] = merged
     return out

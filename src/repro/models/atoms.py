@@ -75,7 +75,9 @@ class CascadeModel(Module):
 
     def infer_shapes(self) -> None:
         """Dry-run a single zero sample to record each atom's output shape."""
-        x = np.zeros((1,) + self.in_shape)
+        from repro.nn.dtype import compute_dtype
+
+        x = np.zeros((1,) + self.in_shape, dtype=compute_dtype())
         was_training = self.training
         self.eval()
         for atom in self.atoms:

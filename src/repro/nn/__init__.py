@@ -17,6 +17,19 @@ All layers follow the NCHW convention and accept an explicit
 are fully reproducible.
 """
 
+from repro.nn.dtype import (
+    as_compute,
+    compute_dtype,
+    dtype_scope,
+    set_compute_dtype,
+)
+from repro.nn.grad_mode import (
+    attack_grad_scope,
+    fast_path_enabled,
+    no_param_grads,
+    param_grads_enabled,
+    set_fast_path,
+)
 from repro.nn.module import Module, Parameter, Sequential, Identity
 from repro.nn.linear import Linear, Flatten
 from repro.nn.conv import Conv2d
@@ -32,6 +45,15 @@ from repro.nn.losses import (
 )
 
 __all__ = [
+    "as_compute",
+    "compute_dtype",
+    "dtype_scope",
+    "set_compute_dtype",
+    "attack_grad_scope",
+    "fast_path_enabled",
+    "no_param_grads",
+    "param_grads_enabled",
+    "set_fast_path",
     "Module",
     "Parameter",
     "Sequential",

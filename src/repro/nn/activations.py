@@ -13,7 +13,8 @@ class ReLU(Module):
         return np.where(self._mask, x, 0.0)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        return np.where(self._mask, grad_out, 0.0)
+        mask, self._mask = self._mask, None  # single-shot cache
+        return np.where(mask, grad_out, 0.0)
 
 
 class LeakyReLU(Module):
@@ -28,7 +29,8 @@ class LeakyReLU(Module):
         return np.where(self._mask, x, self.negative_slope * x)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        return np.where(self._mask, grad_out, self.negative_slope * grad_out)
+        mask, self._mask = self._mask, None
+        return np.where(mask, grad_out, self.negative_slope * grad_out)
 
 
 class Tanh(Module):

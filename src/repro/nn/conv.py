@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import compute_dtype
 from repro.nn.functional import col2im, im2col
+from repro.nn.grad_mode import param_grads_enabled
 from repro.nn.init import kaiming_normal
 from repro.nn.module import Module, Parameter
 
@@ -44,7 +46,7 @@ class Conv2d(Module):
         )
         self.use_bias = bias
         if bias:
-            self.bias = Parameter(np.zeros(out_channels))
+            self.bias = Parameter(np.zeros(out_channels, dtype=compute_dtype()))
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
@@ -54,7 +56,10 @@ class Conv2d(Module):
             )
         k, s, p = self.kernel_size, self.stride, self.padding
         cols, out_h, out_w = im2col(x, k, k, s, p)
-        self._cols = cols
+        # The columns are only needed for the weight gradient; under an
+        # input-grad-only scope (attacks, frozen-prefix forwards) don't
+        # retain them — they dominate activation memory.
+        self._cols = cols if param_grads_enabled() else None
         self._x_shape = x.shape
         w2d = self.weight.data.reshape(self.out_channels, -1)
         # (N, C_out, L) = (C_out, CKK) @ (N, CKK, L), batched over N
@@ -63,15 +68,22 @@ class Conv2d(Module):
             out = out + self.bias.data[None, :, None]
         return out.reshape(x.shape[0], self.out_channels, out_h, out_w)
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, param_grads: bool = True) -> np.ndarray:
         n = grad_out.shape[0]
         g2d = grad_out.reshape(n, self.out_channels, -1)
         w2d = self.weight.data.reshape(self.out_channels, -1)
-        # (C_out, CKK): contract batch and spatial axes in one shot
-        grad_w = np.tensordot(g2d, self._cols, axes=([0, 2], [0, 2]))
-        self.weight.grad += grad_w.reshape(self.weight.data.shape)
-        if self.use_bias:
-            self.bias.grad += g2d.sum(axis=(0, 2))
+        if param_grads and param_grads_enabled():
+            if self._cols is None:
+                raise RuntimeError(
+                    "Conv2d.backward needs parameter gradients but the "
+                    "forward pass ran input-grad-only (no column cache)"
+                )
+            # (C_out, CKK): contract batch and spatial axes in one shot
+            grad_w = np.tensordot(g2d, self._cols, axes=([0, 2], [0, 2]))
+            self.weight.grad += grad_w.reshape(self.weight.data.shape)
+            if self.use_bias:
+                self.bias.grad += g2d.sum(axis=(0, 2))
+        self._cols = None  # single-shot cache: release once consumed
         grad_cols = np.matmul(w2d.T, g2d)
         k, s, p = self.kernel_size, self.stride, self.padding
         return col2im(grad_cols, self._x_shape, k, k, s, p)

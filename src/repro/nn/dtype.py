@@ -1,0 +1,99 @@
+"""Global compute-dtype policy for the NumPy NN substrate.
+
+Everything in ``repro.nn`` computes in a single floating dtype chosen by
+this policy.  The default is ``float32``: on every BLAS the repo targets,
+single-precision matmuls run ~2x faster than double precision and halve
+activation memory, which is exactly the resource the FedProphet edge-device
+setting is constrained by.  ``float64`` remains available (per call, via
+:func:`dtype_scope`, or process-wide via the ``REPRO_DTYPE`` environment
+variable) for finite-difference gradient checks, which need double
+precision to resolve central differences.
+
+The policy is enforced at the *construction* boundary — ``Parameter``,
+``Module.register_buffer`` and the weight initialisers cast floating
+arrays to the active compute dtype — so models built under a scope keep
+their dtype afterwards, and data generators/aggregators query
+:func:`compute_dtype` at call time.  Integer arrays (labels, indices,
+argmax caches) are never touched.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+import numpy as np
+
+DTypeLike = Union[str, type, np.dtype]
+
+_VALID = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def _coerce(dtype: DTypeLike) -> np.dtype:
+    try:
+        d = np.dtype(dtype)
+    except TypeError as exc:
+        raise ValueError(
+            f"unsupported compute dtype {dtype!r}; expected one of "
+            f"{[str(v) for v in _VALID]}"
+        ) from exc
+    if d not in _VALID:
+        raise ValueError(
+            f"unsupported compute dtype {d}; expected one of "
+            f"{[str(v) for v in _VALID]}"
+        )
+    return d
+
+
+_compute_dtype: np.dtype = _coerce(os.environ.get("REPRO_DTYPE", "float32"))
+
+
+def compute_dtype() -> np.dtype:
+    """The dtype all floating tensors are created with."""
+    return _compute_dtype
+
+
+def set_compute_dtype(dtype: DTypeLike) -> np.dtype:
+    """Set the process-wide compute dtype; returns the previous one."""
+    global _compute_dtype
+    previous = _compute_dtype
+    _compute_dtype = _coerce(dtype)
+    return previous
+
+
+@contextmanager
+def dtype_scope(dtype: DTypeLike) -> Iterator[np.dtype]:
+    """Temporarily switch the compute dtype (e.g. float64 for gradchecks).
+
+    Only affects tensors *created* inside the scope; models built within
+    keep their dtype when the scope exits.
+    """
+    previous = set_compute_dtype(dtype)
+    try:
+        yield _compute_dtype
+    finally:
+        set_compute_dtype(previous)
+
+
+def accum_dtype(*arrays: np.ndarray) -> np.dtype:
+    """Accumulator dtype for aggregation over the given arrays.
+
+    Follows the compute-dtype policy without ever *downcasting* the inputs:
+    float32 states accumulate in float32 (the policy default), while
+    float64 inputs — e.g. under a float64 scope, or externally supplied
+    double-precision states — keep full precision.
+    """
+    return np.result_type(_compute_dtype, *[np.asarray(a).dtype for a in arrays])
+
+
+def as_compute(x: np.ndarray) -> np.ndarray:
+    """Cast a floating array to the compute dtype (no-copy when possible).
+
+    Non-floating arrays (integer labels, bool masks) pass through
+    unchanged.
+    """
+    x = np.asarray(x)
+    if np.issubdtype(x.dtype, np.floating) and x.dtype != _compute_dtype:
+        return x.astype(_compute_dtype)
+    return x

@@ -6,6 +6,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.nn.dtype import compute_dtype
+
 
 def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
     """Spatial output size of a convolution/pooling window sweep."""
@@ -72,11 +74,17 @@ def col2im(
     return xp
 
 
-def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
-    """Dense one-hot encoding of an integer label vector."""
+def one_hot(labels: np.ndarray, num_classes: int, dtype=None) -> np.ndarray:
+    """Dense one-hot encoding of an integer label vector.
+
+    ``dtype=None`` follows the global compute-dtype policy
+    (:func:`repro.nn.dtype.compute_dtype`).
+    """
     labels = np.asarray(labels)
     if labels.ndim != 1:
         raise ValueError("labels must be a 1-D integer array")
+    if dtype is None:
+        dtype = compute_dtype()
     out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import compute_dtype
+
 
 def kaiming_normal(
     shape, fan_in: int, rng: np.random.Generator, gain: float = np.sqrt(2.0)
@@ -11,12 +13,14 @@ def kaiming_normal(
     """He-normal initialisation: std = gain / sqrt(fan_in).
 
     The default gain targets ReLU networks, which is all this repo trains.
+    Draws in float64 for bit-stable streams, then casts to the compute
+    dtype.
     """
     std = gain / np.sqrt(float(fan_in))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(compute_dtype(), copy=False)
 
 
 def xavier_uniform(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
     """Glorot-uniform initialisation for linear output heads."""
     limit = np.sqrt(6.0 / float(fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(compute_dtype(), copy=False)

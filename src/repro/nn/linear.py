@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import compute_dtype
+from repro.nn.grad_mode import param_grads_enabled
 from repro.nn.init import kaiming_normal
 from repro.nn.module import Module, Parameter
 
@@ -27,21 +29,29 @@ class Linear(Module):
         )
         self.use_bias = bias
         if bias:
-            self.bias = Parameter(np.zeros(out_features))
+            self.bias = Parameter(np.zeros(out_features, dtype=compute_dtype()))
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 2:
             raise ValueError(f"Linear expects 2-D input, got shape {x.shape}")
-        self._x = x
+        # The input is only needed for the weight gradient.
+        self._x = x if param_grads_enabled() else None
         out = x @ self.weight.data.T
         if self.use_bias:
             out = out + self.bias.data
         return out
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        self.weight.grad += grad_out.T @ self._x
-        if self.use_bias:
-            self.bias.grad += grad_out.sum(axis=0)
+    def backward(self, grad_out: np.ndarray, param_grads: bool = True) -> np.ndarray:
+        if param_grads and param_grads_enabled():
+            if self._x is None:
+                raise RuntimeError(
+                    "Linear.backward needs parameter gradients but the "
+                    "forward pass ran input-grad-only (no input cache)"
+                )
+            self.weight.grad += grad_out.T @ self._x
+            if self.use_bias:
+                self.bias.grad += grad_out.sum(axis=0)
+        self._x = None
         return grad_out @ self.weight.data
 
 

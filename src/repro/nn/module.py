@@ -15,14 +15,21 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import as_compute
+
 
 class Parameter:
-    """A trainable tensor together with its accumulated gradient."""
+    """A trainable tensor together with its accumulated gradient.
+
+    Floating-point data is cast to the active compute dtype (see
+    :mod:`repro.nn.dtype`) at construction, so the dtype policy is enforced
+    no matter which code path creates the parameter.
+    """
 
     __slots__ = ("data", "grad")
 
     def __init__(self, data: np.ndarray):
-        self.data = np.asarray(data)
+        self.data = as_compute(np.asarray(data))
         self.grad = np.zeros_like(self.data)
 
     @property
@@ -72,13 +79,13 @@ class Module:
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
         """Register a non-trainable tensor (e.g. BN running statistics)."""
-        self._buffers[name] = np.asarray(value)
+        self._buffers[name] = as_compute(np.asarray(value))
         object.__setattr__(self, name, self._buffers[name])
 
     def set_buffer(self, name: str, value: np.ndarray) -> None:
         if name not in self._buffers:
             raise KeyError(f"no buffer named {name!r}")
-        self._buffers[name] = np.asarray(value)
+        self._buffers[name] = np.asarray(value, dtype=self._buffers[name].dtype)
         object.__setattr__(self, name, self._buffers[name])
 
     # -- interface ---------------------------------------------------------

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import compute_dtype
+from repro.nn.grad_mode import param_grads_enabled
 from repro.nn.module import Module, Parameter
 
 
@@ -21,10 +23,10 @@ class BatchNorm2d(Module):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.weight = Parameter(np.ones(num_features))
-        self.bias = Parameter(np.zeros(num_features))
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        self.weight = Parameter(np.ones(num_features, dtype=compute_dtype()))
+        self.bias = Parameter(np.zeros(num_features, dtype=compute_dtype()))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=compute_dtype()))
+        self.register_buffer("running_var", np.ones(num_features, dtype=compute_dtype()))
 
     # Subclasses (DualBatchNorm2d) redirect these to one of two stat banks.
     def _get_running(self) -> tuple[np.ndarray, np.ndarray]:
@@ -51,26 +53,46 @@ class BatchNorm2d(Module):
             mean, var = self._get_running()
             self._batch_stats = False
         self._inv_std = 1.0 / np.sqrt(var + self.eps)
-        self._x_hat = (x - mean[None, :, None, None]) * self._inv_std[None, :, None, None]
+        if not (self._batch_stats or param_grads_enabled()):
+            # Input-grad-only eval forward (attacks on a frozen model, the
+            # frozen-prefix cascade): nothing downstream needs x_hat, so
+            # fold the affine transform into one scale-and-shift.
+            self._x_hat = None
+            scale = self.weight.data * self._inv_std
+            shift = self.bias.data - mean * scale
+            return x * scale[None, :, None, None] + shift[None, :, None, None]
+        # x_hat is needed for the weight gradient and the train-mode input
+        # gradient.
+        x_hat = (x - mean[None, :, None, None]) * self._inv_std[None, :, None, None]
+        self._x_hat = x_hat
         return (
-            self.weight.data[None, :, None, None] * self._x_hat
+            self.weight.data[None, :, None, None] * x_hat
             + self.bias.data[None, :, None, None]
         )
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, param_grads: bool = True) -> np.ndarray:
         n, _, h, w = grad_out.shape
         count = n * h * w
-        self.weight.grad += (grad_out * self._x_hat).sum(axis=(0, 2, 3))
-        self.bias.grad += grad_out.sum(axis=(0, 2, 3))
+        if param_grads and param_grads_enabled():
+            if self._x_hat is None:
+                raise RuntimeError(
+                    "BatchNorm2d.backward needs parameter gradients but the "
+                    "forward pass ran input-grad-only (no x_hat cache)"
+                )
+            self.weight.grad += (grad_out * self._x_hat).sum(axis=(0, 2, 3))
+            self.bias.grad += grad_out.sum(axis=(0, 2, 3))
         g_xhat = grad_out * self.weight.data[None, :, None, None]
         inv_std = self._inv_std[None, :, None, None]
         if not self._batch_stats:
             # Eval mode: statistics are constants.
+            self._x_hat = None
             return g_xhat * inv_std
+        x_hat = self._x_hat
+        self._x_hat = None
         sum_g = g_xhat.sum(axis=(0, 2, 3), keepdims=True)
-        sum_gx = (g_xhat * self._x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        sum_gx = (g_xhat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
         return (inv_std / count) * (
-            count * g_xhat - sum_g - self._x_hat * sum_gx
+            count * g_xhat - sum_g - x_hat * sum_gx
         )
 
 

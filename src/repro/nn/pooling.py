@@ -35,6 +35,7 @@ class MaxPool2d(Module):
         grad_cols = np.zeros((n, c, k * k, out_h * out_w), dtype=grad_out.dtype)
         g = grad_out.reshape(n, c, 1, out_h * out_w)
         np.put_along_axis(grad_cols, self._argmax[:, :, None, :], g, axis=2)
+        self._argmax = None  # single-shot cache: release once consumed
         grad_cols = grad_cols.reshape(n, c * k * k, out_h * out_w)
         return col2im(grad_cols, self._x_shape, k, k, s, p)
 

@@ -2,11 +2,17 @@
 
 These are the load-bearing tests of the whole reproduction: PGD attacks
 and cascade training consume exactly the input gradients checked here.
+
+The whole module runs under a float64 compute-dtype scope: central
+differences with eps=1e-5 cannot resolve gradients against float32
+parameter storage, and the analytic math is dtype-independent, so double
+precision is the right instrument here (production stays float32).
 """
 
 import numpy as np
 import pytest
 
+from repro.nn import dtype_scope
 from repro.nn import (
     AvgPool2d,
     BasicBlock,
@@ -25,6 +31,12 @@ from repro.nn import (
 from tests.helpers import check_layer_input_grad, check_layer_param_grads
 
 RNG = np.random.default_rng(42)
+
+
+@pytest.fixture(autouse=True)
+def _float64_compute():
+    with dtype_scope(np.float64):
+        yield
 
 
 def _x(shape):
