@@ -14,8 +14,19 @@ each under two execution modes *in the same run*:
 * ``fast``     — the fast-path engine: float32 compute policy,
   input-grad-only attacks, frozen-prefix cache enabled.
 
-Writes ``BENCH_PERF.json`` (repo root) with the before/after table that
-seeds the perf trajectory.  Scale via ``REPRO_BENCH_SCALE``: "quick"
+A fourth section benchmarks the **round execution engine** (PR 2) on top
+of the fast path: one FedProphet round at module 1 under
+
+* ``serial_cold``   — serial clients + per-round cache invalidation
+  (the PR 1 execution path);
+* ``serial_warm``   — serial clients + the stage-scoped (version-keyed)
+  cache, so re-sampled clients hit activations cached in earlier rounds;
+* ``parallel_warm`` — thread-backend clients + warm stage cache.
+
+``BENCH_PERF.json`` (repo root) keeps a **history**: one entry per run,
+keyed by git SHA + date, so the perf trajectory across PRs stays visible;
+a metric dropping more than 20 % against the previous same-scale entry
+prints a regression warning.  Scale via ``REPRO_BENCH_SCALE``: "quick"
 (CI-sized, default) or "full".
 
 Run:  PYTHONPATH=src python benchmarks/bench_perf_hotpath.py
@@ -25,6 +36,7 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 import time
 from pathlib import Path
 from typing import Callable, Dict, Tuple
@@ -39,6 +51,7 @@ from repro.nn import ConvBNReLU, Sequential, dtype_scope, set_fast_path
 from repro.utils import format_table
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+REGRESSION_TOLERANCE = 0.20  # warn when a metric drops >20% vs previous run
 
 SCALES = {
     # (conv batch, conv reps, pgd batch, pgd steps, round local_iters, round clients)
@@ -122,8 +135,13 @@ def bench_pgd(params: dict) -> Dict[str, Tuple[float, int]]:
     return {"pgd10_attack": (t, n)}
 
 
-def bench_fed_round(params: dict, use_cache: bool) -> Dict[str, Tuple[float, int]]:
-    """One FedProphet communication round at module 1 (prefix active)."""
+def _build_round_exp(
+    params: dict,
+    use_cache: bool,
+    backend: str = "serial",
+    workers: int = 1,
+):
+    """A FedProphet experiment positioned at module 1 (prefix active)."""
     task = make_cifar10_like(
         image_size=8, train_per_class=params["train_per_class"],
         test_per_class=10, seed=0,
@@ -134,6 +152,7 @@ def bench_fed_round(params: dict, use_cache: bool) -> Dict[str, Tuple[float, int
         rounds=4, train_pgd_steps=3, eval_pgd_steps=2, eval_every=0,
         seed=0, rounds_per_module=2, patience=2, r_min_fraction=0.35,
         val_samples=32, val_pgd_steps=2, use_prefix_cache=use_cache,
+        executor_backend=backend, round_parallelism=workers,
     )
     exp = FedProphet(
         task,
@@ -145,14 +164,70 @@ def bench_fed_round(params: dict, use_cache: bool) -> Dict[str, Tuple[float, int
     exp.current_module = 1
     exp.eps_feature = 0.5
     clients, states = exp.sample_round(0)
+    return exp, cfg, clients, states
+
+
+def bench_fed_round(params: dict, use_cache: bool) -> Dict[str, Tuple[float, int]]:
+    """One FedProphet communication round at module 1 (prefix active).
+
+    The cache is bumped before every round, reproducing the PR 1 per-round
+    invalidation so the baseline/fast comparison stays an apples-to-apples
+    fast-path measurement (the stage-scoped warm cache is measured by
+    :func:`bench_round_engine`).
+    """
+    exp, cfg, clients, states = _build_round_exp(params, use_cache)
 
     def one_round():
+        if exp.prefix_cache is not None:
+            exp.prefix_cache.bump_version()
         exp.run_round(0, clients, states)
 
     t = _best_of(one_round, params["reps"])
     samples = cfg.clients_per_round * cfg.local_iters * cfg.batch_size
     stats = exp.prefix_cache.stats() if exp.prefix_cache is not None else None
     return {"federated_round": (t, samples, stats)}
+
+
+def bench_round_engine(params: dict) -> Dict[str, dict]:
+    """The PR 2 round execution engine vs the PR 1 serial path.
+
+    All variants run the PR 1 fast path (float32, input-grad-only attacks,
+    prefix cache on); they differ only in executor backend and cache
+    scoping, so the speedups isolate the round engine itself.
+    """
+    cpus = os.cpu_count() or 1
+    workers = max(1, min(cpus, params["clients_per_round"]))
+    variants = {
+        "serial_cold": dict(backend="serial", workers=1, stage_cache=False),
+        "serial_warm": dict(backend="serial", workers=1, stage_cache=True),
+        "parallel_warm": dict(backend="thread", workers=workers, stage_cache=True),
+    }
+    out: Dict[str, dict] = {"cpus": cpus, "workers": workers}
+    for name, spec in variants.items():
+        exp, cfg, clients, states = _build_round_exp(
+            params, use_cache=True, backend=spec["backend"], workers=spec["workers"]
+        )
+
+        def one_round():
+            if not spec["stage_cache"]:
+                # PR 1 semantics: every round starts with a cold cache.
+                exp.prefix_cache.bump_version()
+            exp.run_round(0, clients, states)
+
+        t = _best_of(one_round, params["reps"])
+        samples = cfg.clients_per_round * cfg.local_iters * cfg.batch_size
+        out[name] = {
+            "seconds": t,
+            "samples_per_sec": samples / t,
+            "prefix_cache": exp.prefix_cache.stats(),
+        }
+    out["speedups"] = {
+        "stage_cache": out["serial_cold"]["seconds"] / out["serial_warm"]["seconds"],
+        "parallel_warm_round": (
+            out["serial_cold"]["seconds"] / out["parallel_warm"]["seconds"]
+        ),
+    }
+    return out
 
 
 def run_mode(mode: str, params: dict) -> Dict[str, dict]:
@@ -176,13 +251,85 @@ def run_mode(mode: str, params: dict) -> Dict[str, dict]:
     return results
 
 
+def _git_sha() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True, text=True, cwd=Path(__file__).resolve().parent,
+                timeout=10,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover - git absent/hung
+        return "unknown"
+
+
+def _flat_metrics(entry: dict) -> Dict[str, float]:
+    """All samples/sec metrics of one history entry, flattened for diffing."""
+    out: Dict[str, float] = {}
+    for mode, paths in entry.get("modes", {}).items():
+        for name, rec in paths.items():
+            out[f"{mode}.{name}"] = rec["samples_per_sec"]
+    for variant in ("serial_cold", "serial_warm", "parallel_warm"):
+        rec = entry.get("round_engine", {}).get(variant)
+        if rec is not None:
+            out[f"round_engine.{variant}"] = rec["samples_per_sec"]
+    return out
+
+
+def _load_history(path: Path) -> list:
+    """Existing run history; wraps a pre-history single-report file."""
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return []
+    if isinstance(data, dict) and "history" in data:
+        return list(data["history"])
+    if isinstance(data, dict) and "modes" in data:  # PR 1 single-report format
+        legacy = {k: v for k, v in data.items() if k != "bench"}
+        legacy.setdefault("sha", "pre-history")
+        legacy.setdefault("date", None)
+        return [legacy]
+    return []
+
+
+def _check_regressions(history: list, entry: dict) -> list:
+    """Warnings for metrics that dropped >20% vs the previous same-scale run."""
+    previous = next(
+        (e for e in reversed(history) if e.get("scale") == entry["scale"]), None
+    )
+    if previous is None:
+        return []
+    old, new = _flat_metrics(previous), _flat_metrics(entry)
+    warnings = []
+    for name in sorted(set(old) & set(new)):
+        if old[name] <= 0:
+            continue
+        drop = 1.0 - new[name] / old[name]
+        if drop > REGRESSION_TOLERANCE:
+            warnings.append(
+                f"{name}: {new[name]:.1f} samples/s, down "
+                f"{drop * 100:.0f}% vs {previous.get('sha', '?')} ({old[name]:.1f})"
+            )
+    return warnings
+
+
 def main() -> dict:
     if SCALE not in SCALES:
         raise SystemExit(
             f"unknown REPRO_BENCH_SCALE {SCALE!r}; expected one of {sorted(SCALES)}"
         )
     params = SCALES[SCALE]
-    report = {"bench": "perf_hotpath", "scale": SCALE, "modes": {}, "speedups": {}}
+    report = {
+        "sha": _git_sha(),
+        "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": SCALE,
+        "modes": {},
+        "speedups": {},
+    }
     for mode in ("baseline", "fast"):
         report["modes"][mode] = run_mode(mode, params)
 
@@ -202,21 +349,70 @@ def main() -> dict:
         )
     )
 
-    out_path = Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path}")
+    # Round execution engine: runs entirely on the fast path.
+    previous_fast = set_fast_path(True)
+    try:
+        report["round_engine"] = bench_round_engine(params)
+    finally:
+        set_fast_path(previous_fast)
+    engine = report["round_engine"]
+    print(
+        format_table(
+            ["variant", "seconds", "samples/s", "hit rate"],
+            [
+                (
+                    name,
+                    f"{engine[name]['seconds']:.3f}",
+                    f"{engine[name]['samples_per_sec']:.1f}",
+                    f"{engine[name]['prefix_cache']['hit_rate']:.2f}",
+                )
+                for name in ("serial_cold", "serial_warm", "parallel_warm")
+            ],
+            title=(
+                f"Round execution engine — {engine['workers']} worker(s), "
+                f"{engine['cpus']} cpu(s)"
+            ),
+        )
+    )
+    print(
+        f"stage-scoped cache: {engine['speedups']['stage_cache']:.2f}x, "
+        f"parallel+warm round: {engine['speedups']['parallel_warm_round']:.2f}x"
+    )
 
-    # REPRO_BENCH_ENFORCE=0 turns the gate into a report-only smoke run
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
+    history = _load_history(out_path)
+    for warning in _check_regressions(history, report):
+        print(f"WARN regression: {warning}")
+    history.append(report)
+    out_path.write_text(
+        json.dumps({"bench": "perf_hotpath", "history": history}, indent=2) + "\n"
+    )
+    print(f"wrote {out_path} ({len(history)} history entries)")
+
+    # REPRO_BENCH_ENFORCE=0 turns the gates into a report-only smoke run
     # (shared CI runners are too noisy to fail a build on a timing).
     enforce = os.environ.get("REPRO_BENCH_ENFORCE", "1") != "0"
+    failures = []
     for hot in ("pgd10_attack", "federated_round"):
         if report["speedups"][hot] < 2.0:
-            msg = f"{hot} speedup {report['speedups'][hot]:.2f}x < 2.0x"
-            if enforce:
-                raise SystemExit(f"FAIL: {msg}")
-            print(f"WARN (not enforced): {msg}")
-    if enforce:
-        print("OK: >=2x speedup on PGD attack and federated round")
+            failures.append(f"{hot} speedup {report['speedups'][hot]:.2f}x < 2.0x")
+    if engine["cpus"] >= 2:
+        if engine["speedups"]["parallel_warm_round"] < 1.5:
+            failures.append(
+                "round_engine parallel+warm speedup "
+                f"{engine['speedups']['parallel_warm_round']:.2f}x < 1.5x"
+            )
+    else:
+        print(
+            "NOTE: single-core runner; the >=1.5x parallel round gate needs "
+            ">=2 cores and was skipped"
+        )
+    for msg in failures:
+        if enforce:
+            raise SystemExit(f"FAIL: {msg}")
+        print(f"WARN (not enforced): {msg}")
+    if enforce and not failures:
+        print("OK: all enforced speedup gates passed")
     return report
 
 

@@ -18,6 +18,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.attacks import ModelWithLoss, PGDConfig, pgd_attack
+from repro.core.aggregator import restore_segment, snapshot_segment
 from repro.data.dataset import DataLoader
 from repro.flsim.aggregation import weighted_average_states
 from repro.flsim.base import FederatedExperiment, FLClient, FLConfig
@@ -77,12 +78,11 @@ class FedRBN(FederatedExperiment):
         return state.avail_mem_bytes >= self.mem_req
 
     def _dual_adversarial_train(
-        self, client: FLClient, lr: float, rng: np.random.Generator
+        self, model, client: FLClient, lr: float, rng: np.random.Generator
     ) -> None:
         """AT client: clean pass updates clean BN stats, adversarial pass
         updates adversarial BN stats; both contribute to the SGD step."""
         cfg = self.config
-        model = self.global_model
         model.train()
         opt = SGD(
             model.parameters(), lr=lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay
@@ -121,36 +121,46 @@ class FedRBN(FederatedExperiment):
         states: List[Optional[DeviceState]],
     ) -> List[LocalTrainingCost]:
         cfg = self.config
-        global_state = self.global_model.state_dict()
-        all_states, sizes, costs = [], [], []
-        at_states, at_sizes = [], []
-        for client, dev in zip(clients, states):
-            self.global_model.load_state_dict(global_state)
+        num_atoms = len(self.global_model.atoms)
+        # Every client trains the full model: the round snapshot spans all
+        # atoms and each work unit restores it in place on its slot model.
+        global_snap = snapshot_segment(self.global_model, 0, num_atoms)
+        lr_t = self.lr_at(round_idx)
+
+        def train_client(item, slot):
+            client, dev = item
+            model = self._slot_model(slot)
+            restore_segment(model, global_snap, 0, num_atoms)
             rng = np.random.default_rng(
                 cfg.seed * 1_000_003 + round_idx * 1009 + client.cid
             )
             is_at = self.can_afford_at(dev)
             if is_at:
-                self._dual_adversarial_train(client, self.lr_at(round_idx), rng)
+                self._dual_adversarial_train(model, client, lr_t, rng)
             else:
-                set_dual_bn_mode(self.global_model, adversarial=False)
+                set_dual_bn_mode(model, adversarial=False)
                 standard_local_train(
-                    self.global_model,
+                    model,
                     client.dataset,
                     iterations=cfg.local_iters,
                     batch_size=cfg.batch_size,
-                    lr=self.lr_at(round_idx),
+                    lr=lr_t,
                     momentum=cfg.momentum,
                     weight_decay=cfg.weight_decay,
                     rng=rng,
                 )
-            state = self.global_model.state_dict()
-            all_states.append(state)
-            sizes.append(client.num_samples)
-            if is_at:
-                at_states.append(state)
-                at_sizes.append(client.num_samples)
-            costs.append(self._cost(dev, is_at))
+            return snapshot_segment(model, 0, num_atoms), is_at, self._cost(dev, is_at)
+
+        results = self.executor.map(train_client, list(zip(clients, states)))
+        all_states = [r[0] for r in results]
+        sizes = [client.num_samples for client in clients]
+        costs = [r[2] for r in results]
+        at_states = [state for state, is_at, _ in results if is_at]
+        at_sizes = [
+            client.num_samples
+            for client, (_, is_at, _) in zip(clients, results)
+            if is_at
+        ]
 
         merged = weighted_average_states(all_states, [float(n) for n in sizes])
         # Robustness propagation: adversarial BN statistics come only from
@@ -161,7 +171,7 @@ class FedRBN(FederatedExperiment):
                 merged[key] = adv_merged[key]
         else:
             for key in self._adv_stat_keys:
-                merged[key] = global_state[key]
+                merged[key] = global_snap[key]
         self.global_model.load_state_dict(merged)
         return costs
 

@@ -14,6 +14,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.attacks.pgd import PGDConfig
+from repro.core.aggregator import restore_segment, snapshot_segment
 from repro.flsim.aggregation import fedavg
 from repro.flsim.base import FederatedExperiment, FLClient, FLConfig
 from repro.flsim.local import adversarial_local_train
@@ -54,25 +55,37 @@ class JointFAT(FederatedExperiment):
         states: List[Optional[DeviceState]],
     ) -> List[LocalTrainingCost]:
         cfg = self.config
-        global_state = self.global_model.state_dict()
-        local_states, sizes, costs = [], [], []
+        num_atoms = len(self.global_model.atoms)
+        # jFAT trains the whole model, so the "segment" snapshot spans every
+        # atom; each work unit restores it in place on its slot's workspace.
+        global_snap = snapshot_segment(self.global_model, 0, num_atoms)
         pgd = PGDConfig(eps=cfg.eps0, steps=cfg.train_pgd_steps, norm="linf")
-        for client, dev in zip(clients, states):
-            self.global_model.load_state_dict(global_state)
+        lr_t = self.lr_at(round_idx)
+
+        def train_client(item, slot):
+            client, dev = item
+            model = self._slot_model(slot)
+            restore_segment(model, global_snap, 0, num_atoms)
             adversarial_local_train(
-                self.global_model,
+                model,
                 client.dataset,
                 iterations=cfg.local_iters,
                 batch_size=cfg.batch_size,
-                lr=self.lr_at(round_idx),
+                lr=lr_t,
                 pgd=pgd,
                 momentum=cfg.momentum,
                 weight_decay=cfg.weight_decay,
-                rng=np.random.default_rng(cfg.seed * 1_000_003 + round_idx * 1009 + client.cid),
+                rng=np.random.default_rng(
+                    cfg.seed * 1_000_003 + round_idx * 1009 + client.cid
+                ),
             )
-            local_states.append(self.global_model.state_dict())
-            sizes.append(client.num_samples)
-            costs.append(self._cost(dev))
+            return snapshot_segment(model, 0, num_atoms), self._cost(dev)
+
+        results = self.executor.map(train_client, list(zip(clients, states)))
+        local_states = [r[0] for r in results]
+        costs = [r[1] for r in results]
+        sizes = [client.num_samples for client in clients]
+        # fedavg covers every key, so no restore of the round snapshot needed
         self.global_model.load_state_dict(fedavg(local_states, sizes))
         return costs
 

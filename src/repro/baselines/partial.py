@@ -56,9 +56,14 @@ class PartialTrainingFAT(FederatedExperiment):
     ) -> List[LocalTrainingCost]:
         cfg = self.config
         global_state = self.global_model.state_dict()
-        updates, costs = [], []
         pgd = PGDConfig(eps=cfg.eps0, steps=cfg.train_pgd_steps, norm="linf")
-        for client, dev in zip(clients, states):
+        lr_t = self.lr_at(round_idx)
+
+        # Work units never touch the shared global model: each extracts its
+        # own width-sliced copy (a read of the global parameters) and trains
+        # that, so every backend runs them without replica syncing.
+        def train_client(item, _slot):
+            client, dev = item
             ratio = self.client_ratio(dev)
             rng = np.random.default_rng(
                 cfg.seed * 1_000_003 + round_idx * 1009 + client.cid
@@ -71,7 +76,7 @@ class PartialTrainingFAT(FederatedExperiment):
                 client.dataset,
                 iterations=cfg.local_iters,
                 batch_size=cfg.batch_size,
-                lr=self.lr_at(round_idx),
+                lr=lr_t,
                 pgd=pgd,
                 momentum=cfg.momentum,
                 weight_decay=cfg.weight_decay,
@@ -80,8 +85,12 @@ class PartialTrainingFAT(FederatedExperiment):
             scattered, mask = scatter_submodel_state(
                 piece.model.state_dict(), piece.index_map, global_state
             )
-            updates.append((scattered, mask, float(client.num_samples)))
-            costs.append(self._cost(dev, piece.model))
+            update = (scattered, mask, float(client.num_samples))
+            return update, self._cost(dev, piece.model)
+
+        results = self.executor.map(train_client, list(zip(clients, states)))
+        updates = [r[0] for r in results]
+        costs = [r[1] for r in results]
         self.global_model.load_state_dict(
             masked_partial_average(global_state, updates)
         )

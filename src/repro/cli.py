@@ -106,6 +106,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         local_iters=args.local_iters, batch_size=args.batch_size, lr=args.lr,
         train_pgd_steps=args.pgd_steps, eval_pgd_steps=5, eval_every=0,
         eval_max_samples=150, seed=args.seed,
+        executor_backend=args.executor, round_parallelism=args.parallelism,
     )
     if args.method == "fedprophet":
         exp = FedProphet(
@@ -170,6 +171,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width-mult", type=float, default=0.25)
     p.add_argument("--train-per-class", type=int, default=80)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--executor", default="serial",
+                   choices=["serial", "thread", "process"],
+                   help="round execution backend (bit-identical results)")
+    p.add_argument("--parallelism", type=int, default=None,
+                   help="worker cap for parallel backends (default: CPU count)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_train)
     return parser

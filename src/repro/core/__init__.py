@@ -16,7 +16,12 @@ from repro.core.partitioner import Partition, partition_model, aux_head_bytes
 from repro.core.cascade import CascadeLossModel, cascade_local_train, measure_output_perturbation
 from repro.core.apa import AdaptivePerturbationAdjustment
 from repro.core.dma import SegmentCostTable, assign_modules
-from repro.core.aggregator import aggregate_modules, aggregate_heads
+from repro.core.aggregator import (
+    aggregate_modules,
+    aggregate_heads,
+    snapshot_segment,
+    restore_segment,
+)
 from repro.core.prophet import FedProphet
 
 __all__ = [
@@ -35,5 +40,7 @@ __all__ = [
     "assign_modules",
     "aggregate_modules",
     "aggregate_heads",
+    "snapshot_segment",
+    "restore_segment",
     "FedProphet",
 ]

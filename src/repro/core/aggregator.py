@@ -31,10 +31,47 @@ def atom_param_names(model: CascadeModel, start: int, stop: int) -> List[str]:
     return names
 
 
-def extract_segment_state(model: CascadeModel, start: int, stop: int) -> StateDict:
-    """Copy the state of atoms [start, stop) out of the model."""
-    full = model.state_dict()
-    return {k: full[k] for k in atom_param_names(model, start, stop)}
+def snapshot_segment(model: CascadeModel, start: int, stop: int) -> StateDict:
+    """Copy the state (params + buffers) of atoms [start, stop) out of the model.
+
+    Walks the atom modules directly instead of materialising the full
+    ``state_dict`` — the per-client round loop snapshots and extracts only
+    the trained segment, so the frozen prefix is never copied.
+    """
+    if not (0 <= start <= stop <= len(model.atoms)):
+        raise IndexError(f"invalid atom range [{start}, {stop})")
+    out: StateDict = {}
+    for i in range(start, stop):
+        prefix = f"atom{i}."
+        atom = model.atoms[i].module
+        for n, p in atom.named_parameters():
+            out[prefix + n] = p.data.copy()
+        for n, b in atom.named_buffers():
+            out[prefix + n] = b.copy()
+    return out
+
+
+def restore_segment(
+    model: CascadeModel, segment_state: StateDict, start: int, stop: int
+) -> None:
+    """Write a :func:`snapshot_segment` back into atoms [start, stop) in place.
+
+    ``segment_state`` may cover a superset of the range (e.g. a round-level
+    snapshot of the whole trainable suffix restored before each client).
+    """
+    if not (0 <= start <= stop <= len(model.atoms)):
+        raise IndexError(f"invalid atom range [{start}, {stop})")
+    for i in range(start, stop):
+        prefix = f"atom{i}."
+        atom = model.atoms[i].module
+        for n, p in atom.named_parameters():
+            p.data[...] = segment_state[prefix + n]
+        for name, (owner, local) in atom._buffer_owners(prefix).items():
+            owner.set_buffer(local, segment_state[name].copy())
+
+
+#: Historical name for :func:`snapshot_segment` (pre-round-engine API).
+extract_segment_state = snapshot_segment
 
 
 def aggregate_modules(
@@ -67,8 +104,9 @@ def aggregate_modules(
         keys = atom_param_names(model, start, stop)
         out.update(
             weighted_average_states(
-                [{k: state[k] for k in keys} for state, _ in trainers],
+                [state for state, _ in trainers],
                 [w for _, w in trainers],
+                keys=keys,
             )
         )
     return out

@@ -29,10 +29,17 @@ class FedProphetConfig(FLConfig):
     use_apa / use_dma:
         Ablation switches (Table 3).
     use_prefix_cache:
-        Memoise frozen-prefix activations per (client, sample) during a
-        round (invalidated whenever the global model advances).  Pure
+        Memoise frozen-prefix activations per (client, sample).  The cache
+        is version-keyed on the module *stage*: aggregation during a stage
+        only rewrites atoms at or after the current module, so entries stay
+        valid across the stage's rounds and clients re-sampled in later
+        rounds hit instead of re-forwarding the prefix.  Pure
         execution-engine optimisation: results are bit-identical with the
         cache on or off.
+    executor_backend / round_parallelism:
+        Inherited from :class:`~repro.flsim.base.FLConfig` — run each
+        round's clients as parallel work units (``serial``/``thread``/
+        ``process``) with bit-identical results across backends.
     feature_pgd_steps:
         PGD steps for the inner maximisation on intermediate features
         (defaults to ``train_pgd_steps``).

@@ -17,14 +17,33 @@ bit-identical features to a fresh forward because every per-sample
 computation in the substrate (im2col, batched matmul, eval-mode BN) is
 independent of batch composition.
 
-Invalidation is explicit and coarse: :meth:`PrefixCache.invalidate` drops
-everything, and :class:`repro.core.prophet.FedProphet` calls it whenever
-the global model advances a round.  That is conservative — the prefix is
-frozen for the whole stage — but makes correctness trivially auditable.
+Invalidation is **version-keyed**.  The cache carries a prefix-version
+counter; every entry is stamped with the version it was filled under, and
+:meth:`bump_version` advances the counter (dropping all entries) whenever
+the frozen prefix actually changes.  :class:`repro.core.prophet.FedProphet`
+bumps it once per *module stage* — aggregation during a stage only touches
+atoms at or after the current module, so the prefix is constant across all
+of a stage's rounds and clients re-sampled in later rounds hit entries
+filled in earlier ones.  (PR 1 invalidated every round, turning all those
+cross-round lookups into recomputation.)
+
+Thread-safety: the round execution engine runs one ``fetch`` per client
+concurrently.  Keys are per-client so two workers never fill the same
+entry, but the entry table, counters, and evictions are shared; a lock
+guards that bookkeeping while the expensive ``forward_fn`` call runs
+outside it.  If a concurrent eviction drops an entry mid-fetch the fetch
+still returns correct features from its private reference — only the
+cached copy is lost.
+
+Process backend: forked workers inherit a snapshot of the cache and fill
+their private copies; :meth:`export_entry` / :meth:`adopt_entry` let the
+parent merge a child's freshly-computed rows back in so the next round's
+forks start warm.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
@@ -33,11 +52,12 @@ import numpy as np
 class _Entry:
     """Lazily-allocated per-sample feature store for one (client, prefix)."""
 
-    __slots__ = ("data", "filled")
+    __slots__ = ("data", "filled", "version")
 
-    def __init__(self, num_samples: int):
+    def __init__(self, num_samples: int, version: int):
         self.data: Optional[np.ndarray] = None
         self.filled = np.zeros(num_samples, dtype=bool)
+        self.version = version
 
     def nbytes(self) -> int:
         return int(self.data.nbytes) if self.data is not None else 0
@@ -56,7 +76,9 @@ class PrefixCache:
 
     def __init__(self, max_bytes: Optional[int] = 512 * 1024 * 1024):
         self.max_bytes = max_bytes
+        self.version = 0
         self._entries: Dict[Hashable, _Entry] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -77,12 +99,24 @@ class PrefixCache:
             "entries": len(self._entries),
             "bytes": self.nbytes(),
             "invalidations": self.invalidations,
+            "version": self.version,
         }
 
+    def bump_version(self) -> int:
+        """Advance the prefix version and drop all cached activations.
+
+        Call when the frozen prefix's weights actually change — in
+        FedProphet, once per module stage.  Returns the new version.
+        """
+        with self._lock:
+            self.version += 1
+            self._entries.clear()
+            self.invalidations += 1
+            return self.version
+
     def invalidate(self) -> None:
-        """Drop all cached activations (the global model advanced)."""
-        self._entries.clear()
-        self.invalidations += 1
+        """Drop all cached activations (the frozen prefix changed)."""
+        self.bump_version()
 
     def _evict_for(self, key: Hashable, incoming_bytes: int) -> None:
         """Evict oldest entries (never ``key`` itself) to make room."""
@@ -105,40 +139,99 @@ class PrefixCache:
     ) -> np.ndarray:
         """Prefix features for dataset rows ``indices`` (inputs ``x``).
 
-        Rows already cached under ``key`` are returned from the store;
-        the rest are computed in one batched ``forward_fn`` call and
-        cached.  The returned array is a fresh copy — callers may hand it
-        to attacks that build perturbed views without aliasing the cache.
+        Rows already cached under ``key`` at the current prefix version are
+        returned from the store; the rest are computed in one batched
+        ``forward_fn`` call and cached.  The returned array is a fresh copy
+        — callers may hand it to attacks that build perturbed views without
+        aliasing the cache.
         """
         indices = np.asarray(indices)
-        entry = self._entries.get(key)
-        if entry is None:
-            entry = _Entry(num_samples)
-            self._entries[key] = entry
-        missing = ~entry.filled[indices]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.version != self.version:
+                entry = _Entry(num_samples, self.version)
+                self._entries[key] = entry
+            missing = ~entry.filled[indices]
         if missing.any():
             z_new = forward_fn(x[missing] if not missing.all() else x)
-            if entry.data is None:
-                entry_bytes = z_new.dtype.itemsize * num_samples * int(
-                    np.prod(z_new.shape[1:])
-                )
-                if self.max_bytes is not None and entry_bytes > self.max_bytes:
-                    # One client's features alone exceed the budget: don't
-                    # thrash everyone else's entries for a cache that can
-                    # never be retained — just pass the computation through.
-                    del self._entries[key]
-                    self.misses += int(missing.sum())
-                    if missing.all():
-                        return z_new
-                    raise AssertionError(
-                        "uncacheable entry can only be partially filled if "
-                        "it was previously stored"
+            with self._lock:
+                if entry.data is None:
+                    entry_bytes = z_new.dtype.itemsize * num_samples * int(
+                        np.prod(z_new.shape[1:])
                     )
-                self._evict_for(key, entry_bytes)
-                entry.data = np.empty((num_samples,) + z_new.shape[1:], dtype=z_new.dtype)
-            rows = indices[missing]
-            entry.data[rows] = z_new
-            entry.filled[rows] = True
-            self.misses += int(missing.sum())
-        self.hits += int((~missing).sum())
+                    if self.max_bytes is not None and entry_bytes > self.max_bytes:
+                        # One client's features alone exceed the budget: don't
+                        # thrash everyone else's entries for a cache that can
+                        # never be retained — just pass the computation through.
+                        self._entries.pop(key, None)
+                        self.misses += int(missing.sum())
+                        if missing.all():
+                            return z_new
+                        raise AssertionError(
+                            "uncacheable entry can only be partially filled if "
+                            "it was previously stored"
+                        )
+                    self._evict_for(key, entry_bytes)
+                    entry.data = np.empty(
+                        (num_samples,) + z_new.shape[1:], dtype=z_new.dtype
+                    )
+                rows = indices[missing]
+                entry.data[rows] = z_new
+                entry.filled[rows] = True
+                self.misses += int(missing.sum())
+        with self._lock:
+            self.hits += int((~missing).sum())
         return entry.data[indices]
+
+    # -- cross-process merging ---------------------------------------------
+    def export_entry(
+        self, key: Hashable
+    ) -> Optional[Tuple[int, np.ndarray, np.ndarray]]:
+        """Snapshot ``(version, data, filled)`` of one entry, or ``None``.
+
+        Used by forked round workers to ship freshly-computed activations
+        back to the parent process (the arrays cross a pickle boundary, so
+        no copy is taken here).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.data is None or not entry.filled.any():
+                return None
+            return entry.version, entry.data, entry.filled
+
+    def adopt_entry(
+        self, key: Hashable, version: int, data: np.ndarray, filled: np.ndarray
+    ) -> bool:
+        """Merge an exported entry into this cache; returns True if adopted.
+
+        Stale versions are ignored.  When the key already exists only the
+        rows this cache has not filled yet are copied, so a parent never
+        overwrites activations it already holds (they are bit-identical by
+        construction anyway).  The caller must own ``data`` exclusively
+        (true for arrays received over a process boundary).
+        """
+        with self._lock:
+            if version != self.version:
+                return False
+            entry = self._entries.get(key)
+            if entry is None:
+                if self.max_bytes is not None and data.nbytes > self.max_bytes:
+                    return False
+                self._evict_for(key, data.nbytes)
+                entry = _Entry(len(filled), version)
+                entry.data = data
+                entry.filled = filled.copy()
+                self._entries[key] = entry
+                return True
+            if entry.data is None:
+                if self.max_bytes is not None and data.nbytes > self.max_bytes:
+                    return False
+                self._evict_for(key, data.nbytes)
+                entry.data = data
+                entry.filled = filled.copy()
+                return True
+            new_rows = filled & ~entry.filled
+            if new_rows.any():
+                entry.data[new_rows] = data[new_rows]
+                entry.filled[new_rows] = True
+            return True

@@ -23,7 +23,8 @@ from repro.attacks import ModelWithLoss, PGDConfig, pgd_attack
 from repro.core.aggregator import (
     aggregate_heads,
     aggregate_modules,
-    extract_segment_state,
+    restore_segment,
+    snapshot_segment,
 )
 from repro.core.apa import AdaptivePerturbationAdjustment
 from repro.core.cascade import (
@@ -112,6 +113,14 @@ class FedProphet(FederatedExperiment):
         )
         self.current_module = 0
         self.prefix_cache = PrefixCache() if config.use_prefix_cache else None
+        # Stage-scoped bookkeeping: the frozen prefix only changes when the
+        # training stage advances to a new module, so both the activation
+        # cache and the thread workers' full-model syncs are keyed on this
+        # version rather than refreshed every round.
+        self._stage_module: Optional[int] = None
+        self._prefix_version = 0
+        self._replica_synced: dict = {}
+        self._slot_head_lists: dict = {}
         self.eps_feature = 0.0  # ε_{m-1}; unused for module 0 (raw-input ℓ∞)
         self.eps_star: List[float] = []  # fixed ε*_{m-1} per completed module
         self.stage_results: List[ModuleStageResult] = []
@@ -154,6 +163,56 @@ class FedProphet(FederatedExperiment):
             head.zero_grad()
         return EvalResult(clean_acc=clean, pgd_acc=adv)
 
+    # -- executor workspaces ---------------------------------------------------
+    def _enter_stage(self, m: int) -> None:
+        """Note a module-stage (prefix) change; bump cache + replica versions.
+
+        During a stage, aggregation only rewrites atoms at or after the
+        current module, so the frozen prefix — and everything keyed on it —
+        stays valid across all of the stage's rounds.
+        """
+        if self._stage_module != m:
+            self._stage_module = m
+            self._prefix_version += 1
+            if self.prefix_cache is not None:
+                self.prefix_cache.bump_version()
+
+    def _slot_heads(self, slot: int) -> List[Optional[AuxHead]]:
+        """Per-slot auxiliary-head workspaces (slot 0: the global heads)."""
+        if slot == 0:
+            return self.heads
+        heads = self._slot_head_lists.get(slot)
+        if heads is None:
+            rng = np.random.default_rng(self.config.seed + 21)
+            num_atoms = len(self.global_model.atoms)
+            heads = []
+            for start, stop in self.partition.ranges:
+                if stop < num_atoms:
+                    shape = self.global_model.feature_shape(stop - 1)
+                    heads.append(AuxHead(shape, self.task.num_classes, rng=rng))
+                else:
+                    heads.append(None)
+            self._slot_head_lists[slot] = heads
+        return heads
+
+    def _sync_workspaces(self, num_items: int) -> None:
+        """Bring thread-worker model replicas up to the current prefix.
+
+        A replica's trainable suffix is restored from the round snapshot
+        before every client, so only the frozen prefix can go stale — and
+        it only changes at stage boundaries.  One full state sync per
+        replica per *stage*, done before the parallel region so no worker
+        reads the global model while another mutates it.
+        """
+        full_state = None
+        for slot in self.executor.slots_for(num_items):
+            if slot == 0 or self._replica_synced.get(slot) == self._prefix_version:
+                continue
+            if full_state is None:
+                full_state = self.global_model.state_dict()
+            self._slot_model(slot).load_state_dict(full_state)
+            self._replica_synced[slot] = self._prefix_version
+
     # -- one communication round -----------------------------------------------
     def run_round(
         self,
@@ -163,33 +222,43 @@ class FedProphet(FederatedExperiment):
     ) -> List[LocalTrainingCost]:
         m = self.current_module
         cfg = self.config
-        if self.prefix_cache is not None:
-            # The global model advanced since the previous round's
-            # aggregation: cached prefix activations are (conservatively)
-            # stale.  Within the round the prefix is frozen, so each
-            # client's samples are forwarded through it at most once.
-            self.prefix_cache.invalidate()
+        self._enter_stage(m)
         assignments = assign_modules(self.cost_table, m, states, enabled=cfg.use_dma)
         start_atom = self.partition[m][0]
+        num_atoms = len(self.global_model.atoms)
 
-        global_state = self.global_model.state_dict()
+        # Segment-scoped round snapshot: only atoms of modules >= m and the
+        # heads can be trained, so the frozen prefix is never copied and
+        # each work unit restores just the trainable suffix.
+        seg_snapshot = snapshot_segment(self.global_model, start_atom, num_atoms)
         head_states = [h.state_dict() if h is not None else None for h in self.heads]
-
-        seg_states, client_head_states, weights, costs = [], [], [], []
         lr_t = self.lr_at(round_idx)
-        for client, dev_state, mk in zip(clients, states, assignments):
-            self.global_model.load_state_dict(global_state)
-            if self.heads[mk] is not None:
-                self.heads[mk].load_state_dict(head_states[mk])
+        # Forked workers fill private copies of the activation cache; ship
+        # their entries back so next round's forks inherit a warm cache.
+        export_cache = (
+            self.executor.backend == "process"
+            and self.prefix_cache is not None
+            and start_atom > 0
+        )
+        self._sync_workspaces(len(clients))
+
+        def train_client(item, slot):
+            client, dev_state, mk = item
+            model = self._slot_model(slot)
+            heads = self._slot_heads(slot)
+            restore_segment(model, seg_snapshot, start_atom, num_atoms)
+            head = heads[mk]
+            if head is not None:
+                head.load_state_dict(head_states[mk])
             stop_atom = self.partition[mk][1]
             spec = CascadeBatchSpec(
-                start_atom=start_atom, stop_atom=stop_atom, head=self.heads[mk]
+                start_atom=start_atom, stop_atom=stop_atom, head=head
             )
             client_rng = np.random.default_rng(
                 cfg.seed * 1_000_003 + round_idx * 1009 + client.cid
             )
             cascade_local_train(
-                self.global_model,
+                model,
                 spec,
                 client.dataset,
                 iterations=cfg.local_iters,
@@ -205,15 +274,28 @@ class FedProphet(FederatedExperiment):
                 prefix_cache=self.prefix_cache,
                 cache_key=client.cid,
             )
-            seg_states.append(extract_segment_state(self.global_model, start_atom, stop_atom))
-            client_head_states.append(
-                self.heads[mk].state_dict() if self.heads[mk] is not None else None
+            seg_state = snapshot_segment(model, start_atom, stop_atom)
+            head_state = head.state_dict() if head is not None else None
+            cache_key = (client.cid, start_atom)
+            cache_entry = (
+                self.prefix_cache.export_entry(cache_key) if export_cache else None
             )
-            weights.append(client.num_samples / self.total_samples)
-            costs.append(self._client_cost(dev_state, m, mk))
+            cost = self._client_cost(dev_state, m, mk)
+            return seg_state, head_state, cost, cache_key, cache_entry
 
-        # restore global snapshot, then apply aggregated updates
-        self.global_model.load_state_dict(global_state)
+        results = self.executor.map(
+            train_client, list(zip(clients, states, assignments))
+        )
+        seg_states = [r[0] for r in results]
+        client_head_states = [r[1] for r in results]
+        costs = [r[2] for r in results]
+        weights = [client.num_samples / self.total_samples for client in clients]
+        for _, _, _, cache_key, cache_entry in results:
+            if cache_entry is not None:
+                self.prefix_cache.adopt_entry(cache_key, *cache_entry)
+
+        # Return the model to the round-start state, then apply aggregation.
+        restore_segment(self.global_model, seg_snapshot, start_atom, num_atoms)
         for h, s in zip(self.heads, head_states):
             if h is not None and s is not None:
                 h.load_state_dict(s)
@@ -221,7 +303,7 @@ class FedProphet(FederatedExperiment):
             self.global_model, self.partition, m, seg_states, assignments, weights
         )
         if merged:
-            self.global_model.load_state_dict({**global_state, **merged})
+            self.global_model.load_state_dict(merged, strict=False)
         aggregate_heads(self.heads, client_head_states, assignments, weights)
         return costs
 

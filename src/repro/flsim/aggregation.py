@@ -12,9 +12,17 @@ StateDict = Dict[str, np.ndarray]
 
 
 def weighted_average_states(
-    states: Sequence[StateDict], weights: Sequence[float]
+    states: Sequence[StateDict],
+    weights: Sequence[float],
+    keys: Optional[Sequence[str]] = None,
 ) -> StateDict:
-    """Weighted elementwise average of state dicts with identical keys."""
+    """Weighted elementwise average of state dicts with identical keys.
+
+    ``keys`` restricts the average to a subset of keys (each state may then
+    hold a superset) — the partial-average aggregator passes each module's
+    key list directly so no intermediate per-trainer sub-dicts are built.
+    The accumulation is in place into one output array per key.
+    """
     if not states:
         raise ValueError("need at least one state dict")
     if len(states) != len(weights):
@@ -23,7 +31,7 @@ def weighted_average_states(
     if total <= 0:
         raise ValueError("weights must sum to a positive value")
     out: StateDict = {}
-    for key in states[0]:
+    for key in states[0] if keys is None else keys:
         acc = np.zeros_like(states[0][key], dtype=accum_dtype(*(s[key] for s in states)))
         for state, w in zip(states, weights):
             acc += (w / total) * state[key]

@@ -18,6 +18,7 @@ import numpy as np
 from repro.data.dataset import ArrayDataset
 from repro.data.partition import pathological_partition
 from repro.data.synthetic import SyntheticImageTask
+from repro.flsim.executor import BACKENDS, RoundExecutor
 from repro.hardware.devices import DeviceSampler, DeviceState
 from repro.hardware.latency import LatencyModel, LocalTrainingCost
 from repro.metrics.evaluation import EvalResult, evaluate_model
@@ -30,6 +31,13 @@ class FLConfig:
 
     Defaults are the paper's values; experiments shrink ``rounds``,
     ``num_clients``, and ``train_pgd_steps`` to NumPy-friendly scales.
+
+    ``executor_backend`` / ``round_parallelism`` select the round execution
+    engine (:class:`repro.flsim.executor.RoundExecutor`): clients within a
+    round train as independent work units on ``serial`` (default),
+    ``thread``, or ``process`` workers, with bit-identical results across
+    backends.  ``round_parallelism`` caps the worker count (None: one per
+    CPU core).
     """
 
     num_clients: int = 100
@@ -48,12 +56,21 @@ class FLConfig:
     eval_max_samples: int = 256
     eval_with_autoattack: bool = False
     seed: int = 0
+    executor_backend: str = "serial"
+    round_parallelism: Optional[int] = None
 
     def __post_init__(self):
         if self.clients_per_round > self.num_clients:
             raise ValueError("clients_per_round cannot exceed num_clients")
         if not (0 < self.lr_decay <= 1):
             raise ValueError("lr_decay must be in (0, 1]")
+        if self.executor_backend not in BACKENDS:
+            raise ValueError(
+                f"executor_backend must be one of {BACKENDS}, "
+                f"got {self.executor_backend!r}"
+            )
+        if self.round_parallelism is not None and self.round_parallelism < 1:
+            raise ValueError("round_parallelism must be >= 1")
 
 
 @dataclass
@@ -112,6 +129,28 @@ class FederatedExperiment(ABC):
         self.total_compute_s = 0.0
         self.total_access_s = 0.0
         self.history: List[RoundRecord] = []
+
+        self.executor = RoundExecutor(config.executor_backend, config.round_parallelism)
+        self._slot_models: dict = {}
+
+    # -- executor workspaces -------------------------------------------------
+    def _slot_model(self, slot: int) -> CascadeModel:
+        """Model workspace for an executor slot.
+
+        Slot 0 is the global model itself (the serial path and forked
+        children, whose memory image is private, train directly on it);
+        higher slots lazily build one replica each via ``model_builder`` so
+        concurrent thread workers never share layer caches or parameters.
+        Replicas persist across rounds; the experiment is responsible for
+        syncing whatever state a work unit does not itself restore.
+        """
+        if slot == 0:
+            return self.global_model
+        model = self._slot_models.get(slot)
+        if model is None:
+            model = self.model_builder(np.random.default_rng(self.config.seed + 7))
+            self._slot_models[slot] = model
+        return model
 
     # -- per-round helpers ---------------------------------------------------
     def lr_at(self, round_idx: int) -> float:

@@ -22,32 +22,41 @@ selects fused kernels (e.g. eval-mode BatchNorm's folded scale-and-shift)
 whose floating-point rounding differs from the legacy expressions.
 Bit-identity guarantees in this repo (prefix cache on/off) always compare
 runs within a single mode.
+
+The input-grad-only flag is **thread-local**: the round execution engine
+(:mod:`repro.flsim.executor`) runs one client's attack inside
+``no_param_grads`` on a worker thread while another worker's SGD backward
+— which must accumulate parameter gradients — runs concurrently.  A
+process-global flag would let one worker's attack scope silently disable
+the other's weight gradients.  New threads start with parameter gradients
+enabled.  The fast-path master switch stays process-wide: it is a
+benchmark-only toggle flipped outside any parallel region.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager, nullcontext
 from typing import ContextManager, Iterator
 
-_param_grads_enabled: bool = True
+_grad_state = threading.local()
 _fast_path_enabled: bool = True
 
 
 def param_grads_enabled() -> bool:
-    """Whether backward passes currently accumulate parameter gradients."""
-    return _param_grads_enabled
+    """Whether backward passes (in this thread) accumulate parameter grads."""
+    return getattr(_grad_state, "param_grads", True)
 
 
 @contextmanager
 def no_param_grads() -> Iterator[None]:
     """Scope in which backward passes produce *input* gradients only."""
-    global _param_grads_enabled
-    previous = _param_grads_enabled
-    _param_grads_enabled = False
+    previous = param_grads_enabled()
+    _grad_state.param_grads = False
     try:
         yield
     finally:
-        _param_grads_enabled = previous
+        _grad_state.param_grads = previous
 
 
 def fast_path_enabled() -> bool:
