@@ -23,6 +23,13 @@ of the fast path: one FedProphet round at module 1 under
   cache, so re-sampled clients hit activations cached in earlier rounds;
 * ``parallel_warm`` — thread-backend clients + warm stage cache.
 
+A fifth section benchmarks the **sharded evaluation engine** (PR 3):
+one clean + PGD-20 evaluation pass decomposed into ``(attack, sample
+range)`` shards under the ``serial`` and ``thread`` backends (process is
+checked for bit-identity when fork() exists).  All backends must produce
+**bit-identical** EvalResults — a mismatch fails the run outright — and
+on ≥2-core machines the thread-sharded pass must be ≥1.5× faster.
+
 ``BENCH_PERF.json`` (repo root) keeps a **history**: one entry per run,
 keyed by git SHA + date, so the perf trajectory across PRs stays visible;
 a metric dropping more than 20 % against the previous same-scale entry
@@ -54,11 +61,14 @@ SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
 REGRESSION_TOLERANCE = 0.20  # warn when a metric drops >20% vs previous run
 
 SCALES = {
-    # (conv batch, conv reps, pgd batch, pgd steps, round local_iters, round clients)
+    # (conv batch, conv reps, pgd batch, pgd steps, round local_iters, round
+    #  clients, eval samples / shard batch for the evaluation engine)
     "quick": dict(conv_batch=64, reps=3, pgd_batch=64, pgd_steps=10,
-                  local_iters=6, clients_per_round=3, train_per_class=40),
+                  local_iters=6, clients_per_round=3, train_per_class=40,
+                  eval_samples=64, eval_batch=16),
     "full": dict(conv_batch=128, reps=5, pgd_batch=128, pgd_steps=10,
-                 local_iters=8, clients_per_round=5, train_per_class=80),
+                 local_iters=8, clients_per_round=5, train_per_class=80,
+                 eval_samples=192, eval_batch=32),
 }
 
 MODES = {
@@ -230,6 +240,83 @@ def bench_round_engine(params: dict) -> Dict[str, dict]:
     return out
 
 
+def bench_eval_engine(params: dict) -> Dict[str, dict]:
+    """The sharded evaluation engine: serial vs thread-sharded PGD-20 eval.
+
+    One clean + PGD-20 plan over a frozen VGG, decomposed into
+    per-batch shards.  Serial is the reference; the thread backend must be
+    bit-identical to it (hard failure otherwise — determinism is
+    correctness, not a timing) and ≥1.5× faster on ≥2-core machines.  The
+    process backend, where fork() exists, is checked for identity only.
+    """
+    from repro.flsim.eval_executor import EvalExecutor, EvalTarget
+    from repro.flsim.executor import BACKENDS as EXEC_BACKENDS, RoundExecutor
+    from repro.metrics.evaluation import EvalPlan
+    from repro.data import ArrayDataset
+
+    cpus = os.cpu_count() or 1
+    n = params["eval_samples"]
+    rng = np.random.default_rng(3)
+    x = rng.uniform(0.0, 1.0, size=(n, 3, 16, 16))
+    y = rng.integers(0, 10, size=n)
+
+    def build():
+        model = build_vgg("vgg11", 10, (3, 16, 16), width_mult=0.25,
+                          rng=np.random.default_rng(4))
+        model.eval()
+        return model
+
+    base = build()
+    state = base.state_dict()
+    x = x.astype(base.parameters()[0].data.dtype)
+    dataset = ArrayDataset(x, y)
+    plan = EvalPlan.standard(
+        eps=8 / 255, pgd_steps=20, batch_size=params["eval_batch"], seed=0
+    )
+    num_shards = 2 * ((n + params["eval_batch"] - 1) // params["eval_batch"])
+    workers = max(1, min(cpus, num_shards))
+
+    replicas = {0: base}
+
+    def target_for_slot(slot):
+        model = replicas.get(slot)
+        if model is None:
+            model = build()
+            model.load_state_dict(state)
+            replicas[slot] = model
+        return EvalTarget(ModelWithLoss(model))
+
+    out: Dict[str, dict] = {"cpus": cpus, "workers": workers}
+    results = {}
+    timed = {"serial": RoundExecutor("serial"), "thread": RoundExecutor("thread", workers)}
+    for name, executor in timed.items():
+        engine = EvalExecutor(executor)
+
+        def one_eval(engine=engine):
+            # run() zero-grads every target it used before returning
+            results[name] = engine.run(plan, dataset, target_for_slot)
+
+        t = _best_of(one_eval, params["reps"])
+        out[name] = {"seconds": t, "samples_per_sec": n / t}
+    if "process" in EXEC_BACKENDS and hasattr(os, "fork"):
+        engine = EvalExecutor(RoundExecutor("process", workers))
+        results["process"] = engine.run(plan, dataset, target_for_slot)
+
+    reference = results["serial"]
+    for name, result in results.items():
+        if result.as_dict() != reference.as_dict():
+            raise SystemExit(
+                f"FAIL: eval_engine {name} backend diverged from serial: "
+                f"{result.as_dict()} != {reference.as_dict()}"
+            )
+    out["identical_backends"] = sorted(results)
+    out["accuracies"] = reference.as_dict()
+    out["speedups"] = {
+        "thread_sharded_eval": out["serial"]["seconds"] / out["thread"]["seconds"]
+    }
+    return out
+
+
 def run_mode(mode: str, params: dict) -> Dict[str, dict]:
     spec = MODES[mode]
     previous = set_fast_path(spec["fast_path"])
@@ -275,6 +362,10 @@ def _flat_metrics(entry: dict) -> Dict[str, float]:
         rec = entry.get("round_engine", {}).get(variant)
         if rec is not None:
             out[f"round_engine.{variant}"] = rec["samples_per_sec"]
+    for variant in ("serial", "thread"):
+        rec = entry.get("eval_engine", {}).get(variant)
+        if rec is not None:
+            out[f"eval_engine.{variant}"] = rec["samples_per_sec"]
     return out
 
 
@@ -379,6 +470,31 @@ def main() -> dict:
         f"parallel+warm round: {engine['speedups']['parallel_warm_round']:.2f}x"
     )
 
+    # Sharded evaluation engine: also runs entirely on the fast path.
+    previous_fast = set_fast_path(True)
+    try:
+        report["eval_engine"] = bench_eval_engine(params)
+    finally:
+        set_fast_path(previous_fast)
+    ee = report["eval_engine"]
+    print(
+        format_table(
+            ["backend", "seconds", "samples/s"],
+            [
+                (name, f"{ee[name]['seconds']:.3f}", f"{ee[name]['samples_per_sec']:.1f}")
+                for name in ("serial", "thread")
+            ],
+            title=(
+                f"Evaluation engine (clean + PGD-20) — {ee['workers']} worker(s), "
+                f"{ee['cpus']} cpu(s), backends bit-identical: "
+                f"{','.join(ee['identical_backends'])}"
+            ),
+        )
+    )
+    print(
+        f"thread-sharded eval: {ee['speedups']['thread_sharded_eval']:.2f}x"
+    )
+
     out_path = Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
     history = _load_history(out_path)
     for warning in _check_regressions(history, report):
@@ -402,10 +518,15 @@ def main() -> dict:
                 "round_engine parallel+warm speedup "
                 f"{engine['speedups']['parallel_warm_round']:.2f}x < 1.5x"
             )
+        if ee["speedups"]["thread_sharded_eval"] < 1.5:
+            failures.append(
+                "eval_engine thread-sharded speedup "
+                f"{ee['speedups']['thread_sharded_eval']:.2f}x < 1.5x"
+            )
     else:
         print(
-            "NOTE: single-core runner; the >=1.5x parallel round gate needs "
-            ">=2 cores and was skipped"
+            "NOTE: single-core runner; the >=1.5x parallel round/eval gates "
+            "need >=2 cores and were skipped"
         )
     for msg in failures:
         if enforce:

@@ -186,11 +186,11 @@ class FedRBN(FederatedExperiment):
             pgd_steps=self.config.train_pgd_steps if is_at else 0,
         )
 
-    def evaluate(self, max_samples: Optional[int] = None):
-        # Test-time robustness uses the propagated adversarial statistics.
-        set_dual_bn_mode(self.global_model, adversarial=True)
-        return super().evaluate(max_samples)
-
-    def final_eval(self, max_samples: Optional[int] = None):
-        set_dual_bn_mode(self.global_model, adversarial=True)
-        return super().final_eval(max_samples)
+    # Test-time robustness uses the propagated adversarial statistics.  The
+    # dual-BN switch is a module *attribute*, not part of the state dict, so
+    # it must travel with every eval plan as the per-slot setup hook — a
+    # state-dict sync alone would leave thread replicas evaluating with
+    # clean statistics.  ``evaluate``/``final_eval`` are inherited.
+    @staticmethod
+    def _eval_slot_setup(model) -> None:
+        set_dual_bn_mode(model, adversarial=True)

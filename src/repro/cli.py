@@ -107,6 +107,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         train_pgd_steps=args.pgd_steps, eval_pgd_steps=5, eval_every=0,
         eval_max_samples=150, seed=args.seed,
         executor_backend=args.executor, round_parallelism=args.parallelism,
+        eval_parallelism=args.eval_parallelism,
     )
     if args.method == "fedprophet":
         exp = FedProphet(
@@ -176,6 +177,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="round execution backend (bit-identical results)")
     p.add_argument("--parallelism", type=int, default=None,
                    help="worker cap for parallel backends (default: CPU count)")
+    p.add_argument("--eval-parallelism", type=int, default=None,
+                   help="worker cap for the sharded evaluation engine "
+                        "(default: follow --parallelism)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_train)
     return parser

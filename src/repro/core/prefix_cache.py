@@ -128,6 +128,27 @@ class PrefixCache:
             if victim != key:
                 del self._entries[victim]
 
+    def _ensure_entry_data(
+        self, key: Hashable, entry: _Entry, feature_shape, dtype, num_samples: int
+    ) -> bool:
+        """Allocate ``entry.data`` within the budget (lock held by caller).
+
+        Returns False — and drops the entry — when a full entry of this
+        shape could never fit under ``max_bytes``; evicting everyone else
+        for a cache that cannot be retained would only thrash.
+        """
+        if entry.data is not None:
+            return True
+        entry_bytes = np.dtype(dtype).itemsize * num_samples * int(
+            np.prod(feature_shape)
+        )
+        if self.max_bytes is not None and entry_bytes > self.max_bytes:
+            self._entries.pop(key, None)
+            return False
+        self._evict_for(key, entry_bytes)
+        entry.data = np.empty((num_samples,) + tuple(feature_shape), dtype=dtype)
+        return True
+
     # -- the lookup --------------------------------------------------------
     def fetch(
         self,
@@ -155,25 +176,16 @@ class PrefixCache:
         if missing.any():
             z_new = forward_fn(x[missing] if not missing.all() else x)
             with self._lock:
-                if entry.data is None:
-                    entry_bytes = z_new.dtype.itemsize * num_samples * int(
-                        np.prod(z_new.shape[1:])
-                    )
-                    if self.max_bytes is not None and entry_bytes > self.max_bytes:
-                        # One client's features alone exceed the budget: don't
-                        # thrash everyone else's entries for a cache that can
-                        # never be retained — just pass the computation through.
-                        self._entries.pop(key, None)
-                        self.misses += int(missing.sum())
-                        if missing.all():
-                            return z_new
-                        raise AssertionError(
-                            "uncacheable entry can only be partially filled if "
-                            "it was previously stored"
-                        )
-                    self._evict_for(key, entry_bytes)
-                    entry.data = np.empty(
-                        (num_samples,) + z_new.shape[1:], dtype=z_new.dtype
+                if not self._ensure_entry_data(
+                    key, entry, z_new.shape[1:], z_new.dtype, num_samples
+                ):
+                    # Uncacheable: just pass the computation through.
+                    self.misses += int(missing.sum())
+                    if missing.all():
+                        return z_new
+                    raise AssertionError(
+                        "uncacheable entry can only be partially filled if "
+                        "it was previously stored"
                     )
                 rows = indices[missing]
                 entry.data[rows] = z_new
@@ -184,6 +196,19 @@ class PrefixCache:
         return entry.data[indices]
 
     # -- cross-process merging ---------------------------------------------
+    def adopt_counters(self, hits: int, misses: int) -> None:
+        """Fold a forked worker's hit/miss *deltas* into this cache.
+
+        Counters accrue in whichever process ran the lookups; a round or
+        evaluation executed on the process backend therefore leaves the
+        parent's counters untouched.  Workers snapshot ``(hits, misses)``
+        around their work and ship the difference back so ``stats()``
+        reflects the whole round in every backend.
+        """
+        with self._lock:
+            self.hits += int(hits)
+            self.misses += int(misses)
+
     def export_entry(
         self, key: Hashable
     ) -> Optional[Tuple[int, np.ndarray, np.ndarray]]:
@@ -198,6 +223,41 @@ class PrefixCache:
             if entry is None or entry.data is None or not entry.filled.any():
                 return None
             return entry.version, entry.data, entry.filled
+
+    def adopt_rows(
+        self,
+        key: Hashable,
+        version: int,
+        rows: np.ndarray,
+        data: np.ndarray,
+        num_samples: int,
+    ) -> bool:
+        """Merge a worker's freshly-computed feature *rows* into an entry.
+
+        Cheaper than :meth:`export_entry`/:meth:`adopt_entry` when a forked
+        worker filled only a slice of a shared entry (eval shards of one
+        validation set): only the slice crosses the process boundary,
+        instead of the whole entry once per shard.  ``data`` holds the
+        features of dataset rows ``rows`` in order; already-filled rows
+        are left untouched (they are bit-identical by construction).
+        """
+        rows = np.asarray(rows)
+        with self._lock:
+            if version != self.version or len(rows) == 0:
+                return False
+            entry = self._entries.get(key)
+            if entry is None or entry.version != version:
+                entry = _Entry(num_samples, version)
+                self._entries[key] = entry
+            if not self._ensure_entry_data(
+                key, entry, data.shape[1:], data.dtype, num_samples
+            ):
+                return False
+            new = ~entry.filled[rows]
+            if new.any():
+                entry.data[rows[new]] = data[new]
+                entry.filled[rows[new]] = True
+            return True
 
     def adopt_entry(
         self, key: Hashable, version: int, data: np.ndarray, filled: np.ndarray

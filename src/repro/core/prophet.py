@@ -19,7 +19,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.attacks import ModelWithLoss, PGDConfig, pgd_attack
+from repro.attacks import ModelWithLoss
 from repro.core.aggregator import (
     aggregate_heads,
     aggregate_modules,
@@ -37,13 +37,15 @@ from repro.core.dma import SegmentCostTable, assign_modules
 from repro.core.partitioner import full_model_mem_bytes, partition_model
 from repro.core.prefix_cache import PrefixCache
 from repro.flsim.base import FederatedExperiment, FLClient, RoundRecord
+from repro.flsim.eval_executor import EvalTarget
 from repro.hardware.devices import DeviceSampler, DeviceState
 from repro.hardware.flops import BACKWARD_MULTIPLIER
 from repro.hardware.latency import LatencyModel, LocalTrainingCost
 from repro.hardware.memory import MemoryModel
 from repro.hardware.profile import profile_module
-from repro.metrics.evaluation import EvalResult
+from repro.metrics.evaluation import AttackSpec, EvalPlan, EvalResult
 from repro.models.atoms import CascadeModel
+from repro.nn.grad_mode import attack_grad_scope
 from repro.core.heads import AuxHead
 
 
@@ -138,30 +140,80 @@ class FedProphet(FederatedExperiment):
         n_val = min(config.val_samples, len(task.test))
         idx = val_rng.choice(len(task.test), size=n_val, replace=False)
         self.val_set = task.test.subset(idx)
-        self._val_rng = np.random.default_rng(config.seed + 37)
+        self._val_eval_calls = 0
 
     # -- validation of the cascaded prefix -----------------------------------
     def cascade_eval(self, module_idx: int) -> EvalResult:
-        """Clean/adversarial accuracy of (w*_1 ∘ … ∘ w_m) with head θ_m."""
+        """Clean/adversarial accuracy of (w*_1 ∘ … ∘ w_m) with head θ_m.
+
+        Runs as a sharded :class:`EvalPlan` on the evaluation engine.  The
+        clean pass forwards the *frozen* prefix (atoms before the current
+        module) over the fixed validation set, which is exactly what the
+        stage-scoped :class:`PrefixCache` memoises — repeated validations
+        within a stage serve the prefix from cache, bit-identically.  The
+        PGD pass perturbs the raw input and always recomputes.
+        """
+        cfg = self.config
         stop = self.partition[module_idx][1]
-        chain = self.global_model.segment(0, stop)
         head = self.heads[module_idx]
-        self.global_model.eval()
-        mwl = ModelWithLoss(chain, head=head)
-        x, y = self.val_set.x, self.val_set.y
-        clean = float((mwl.logits(x).argmax(axis=1) == y).mean())
-        adv_x = pgd_attack(
-            mwl,
-            x,
-            y,
-            PGDConfig(eps=self.config.eps0, steps=self.config.val_pgd_steps, norm="linf"),
-            rng=self._val_rng,
+        # A fresh counter-derived seed per call keeps successive validations
+        # independent (as the consumed RNG did) while staying shard-stable.
+        self._val_eval_calls += 1
+        plan = EvalPlan(
+            attacks=(
+                AttackSpec.clean(),
+                AttackSpec.pgd(cfg.eps0, cfg.val_pgd_steps),
+            ),
+            seed=(cfg.seed + 37, self._val_eval_calls),
         )
-        adv = float((mwl.logits(adv_x).argmax(axis=1) == y).mean())
-        self.global_model.zero_grad()
-        if head is not None:
-            head.zero_grad()
-        return EvalResult(clean_acc=clean, pgd_acc=adv)
+        # The prefix is only frozen (and cache entries only valid) for the
+        # module currently in training.
+        prefix_len = (
+            self.partition[module_idx][0]
+            if module_idx == self.current_module
+            else 0
+        )
+        use_cache = self.prefix_cache is not None and prefix_len > 0
+
+        def target(slot: int) -> EvalTarget:
+            model = self._slot_model(slot)
+            slot_head = self._slot_heads(slot)[module_idx]
+            mwl = ModelWithLoss(model.segment(0, stop), head=slot_head)
+            if not use_cache:
+                return EvalTarget(mwl)
+
+            def prefix_forward(xb: np.ndarray, _model=model) -> np.ndarray:
+                with attack_grad_scope():
+                    return _model.forward_until(xb, prefix_len)
+
+            return EvalTarget(
+                mwl,
+                prefix_forward=prefix_forward,
+                suffix_mwl=ModelWithLoss(
+                    model.segment(prefix_len, stop), head=slot_head
+                ),
+            )
+
+        state: dict = {}
+
+        def prepare(slot: int) -> None:
+            if slot == 0:
+                return
+            if "model" not in state:
+                state["model"] = self.global_model.state_dict()
+                state["head"] = head.state_dict() if head is not None else None
+            self._slot_model(slot).load_state_dict(state["model"])
+            if state["head"] is not None:
+                self._slot_heads(slot)[module_idx].load_state_dict(state["head"])
+
+        return self.eval_executor.run(
+            plan,
+            self.val_set,
+            target,
+            prepare_slot=prepare,
+            prefix_cache=self.prefix_cache if use_cache else None,
+            cache_key=("val", prefix_len) if use_cache else None,
+        )
 
     # -- executor workspaces ---------------------------------------------------
     def _enter_stage(self, m: int) -> None:
@@ -234,16 +286,16 @@ class FedProphet(FederatedExperiment):
         head_states = [h.state_dict() if h is not None else None for h in self.heads]
         lr_t = self.lr_at(round_idx)
         # Forked workers fill private copies of the activation cache; ship
-        # their entries back so next round's forks inherit a warm cache.
-        export_cache = (
-            self.executor.backend == "process"
-            and self.prefix_cache is not None
-            and start_atom > 0
-        )
+        # their entries (and hit/miss counter deltas) back so next round's
+        # forks inherit a warm cache and stats() covers child-side lookups.
+        forked = self.executor.forks_for(len(clients)) and self.prefix_cache is not None
+        export_cache = forked and start_atom > 0
         self._sync_workspaces(len(clients))
 
         def train_client(item, slot):
             client, dev_state, mk = item
+            if forked:
+                hits0, misses0 = self.prefix_cache.hits, self.prefix_cache.misses
             model = self._slot_model(slot)
             heads = self._slot_heads(slot)
             restore_segment(model, seg_snapshot, start_atom, num_atoms)
@@ -280,8 +332,13 @@ class FedProphet(FederatedExperiment):
             cache_entry = (
                 self.prefix_cache.export_entry(cache_key) if export_cache else None
             )
+            counters = (
+                (self.prefix_cache.hits - hits0, self.prefix_cache.misses - misses0)
+                if forked
+                else None
+            )
             cost = self._client_cost(dev_state, m, mk)
-            return seg_state, head_state, cost, cache_key, cache_entry
+            return seg_state, head_state, cost, cache_key, cache_entry, counters
 
         results = self.executor.map(
             train_client, list(zip(clients, states, assignments))
@@ -290,9 +347,11 @@ class FedProphet(FederatedExperiment):
         client_head_states = [r[1] for r in results]
         costs = [r[2] for r in results]
         weights = [client.num_samples / self.total_samples for client in clients]
-        for _, _, _, cache_key, cache_entry in results:
+        for _, _, _, cache_key, cache_entry, counters in results:
             if cache_entry is not None:
                 self.prefix_cache.adopt_entry(cache_key, *cache_entry)
+            if counters is not None:
+                self.prefix_cache.adopt_counters(*counters)
 
         # Return the model to the round-start state, then apply aggregation.
         restore_segment(self.global_model, seg_snapshot, start_atom, num_atoms)

@@ -15,13 +15,15 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.attacks import ModelWithLoss
 from repro.data.dataset import ArrayDataset
 from repro.data.partition import pathological_partition
 from repro.data.synthetic import SyntheticImageTask
+from repro.flsim.eval_executor import EvalExecutor, EvalTarget
 from repro.flsim.executor import BACKENDS, RoundExecutor
 from repro.hardware.devices import DeviceSampler, DeviceState
 from repro.hardware.latency import LatencyModel, LocalTrainingCost
-from repro.metrics.evaluation import EvalResult, evaluate_model
+from repro.metrics.evaluation import EvalPlan, EvalResult
 from repro.models.atoms import CascadeModel
 
 
@@ -38,6 +40,12 @@ class FLConfig:
     ``thread``, or ``process`` workers, with bit-identical results across
     backends.  ``round_parallelism`` caps the worker count (None: one per
     CPU core).
+
+    ``eval_backend`` / ``eval_parallelism`` configure the sharded
+    evaluation engine (:class:`repro.flsim.eval_executor.EvalExecutor`)
+    the same way; both default (None) to the round-engine settings, so a
+    parallel experiment evaluates in parallel too.  Evaluation results are
+    bit-identical across backends and worker counts.
     """
 
     num_clients: int = 100
@@ -58,6 +66,8 @@ class FLConfig:
     seed: int = 0
     executor_backend: str = "serial"
     round_parallelism: Optional[int] = None
+    eval_backend: Optional[str] = None
+    eval_parallelism: Optional[int] = None
 
     def __post_init__(self):
         if self.clients_per_round > self.num_clients:
@@ -71,6 +81,13 @@ class FLConfig:
             )
         if self.round_parallelism is not None and self.round_parallelism < 1:
             raise ValueError("round_parallelism must be >= 1")
+        if self.eval_backend is not None and self.eval_backend not in BACKENDS:
+            raise ValueError(
+                f"eval_backend must be one of {BACKENDS} (or None to follow "
+                f"executor_backend), got {self.eval_backend!r}"
+            )
+        if self.eval_parallelism is not None and self.eval_parallelism < 1:
+            raise ValueError("eval_parallelism must be >= 1")
 
 
 @dataclass
@@ -131,6 +148,14 @@ class FederatedExperiment(ABC):
         self.history: List[RoundRecord] = []
 
         self.executor = RoundExecutor(config.executor_backend, config.round_parallelism)
+        self.eval_executor = EvalExecutor(
+            RoundExecutor(
+                config.eval_backend or config.executor_backend,
+                config.eval_parallelism
+                if config.eval_parallelism is not None
+                else config.round_parallelism,
+            )
+        )
         self._slot_models: dict = {}
 
     # -- executor workspaces -------------------------------------------------
@@ -189,15 +214,75 @@ class FederatedExperiment(ABC):
     ) -> List[LocalTrainingCost]:
         """Run one communication round; return per-client latency costs."""
 
+    # -- evaluation engine -----------------------------------------------------
+    def eval_plan(
+        self,
+        max_samples: Optional[int] = None,
+        with_autoattack: Optional[bool] = None,
+        seed_offset: int = 99,
+    ) -> EvalPlan:
+        """The standard clean/PGD(/AA) plan under this experiment's config."""
+        cfg = self.config
+        return EvalPlan.standard(
+            eps=cfg.eps0,
+            pgd_steps=cfg.eval_pgd_steps,
+            with_autoattack=(
+                cfg.eval_with_autoattack if with_autoattack is None else with_autoattack
+            ),
+            max_samples=max_samples,
+            seed=cfg.seed + seed_offset,
+        )
+
+    def _eval_target(self, slot: int) -> EvalTarget:
+        """The evaluation target for an executor slot (the full model)."""
+        return EvalTarget(ModelWithLoss(self._slot_model(slot)))
+
+    # Eval-time mode applied to every slot model before shards run (state
+    # that lives *outside* the state dict, e.g. FedRBN's dual-BN switch).
+    # Subclasses override with a method; an explicit ``slot_setup`` argument
+    # to :meth:`run_eval` takes precedence.
+    _eval_slot_setup: Optional[Callable] = None
+
+    def run_eval(
+        self,
+        plan: EvalPlan,
+        dataset: Optional[ArrayDataset] = None,
+        slot_setup: Optional[Callable] = None,
+    ) -> EvalResult:
+        """Submit an :class:`EvalPlan` to the sharded evaluation engine.
+
+        Thread-slot replicas are synced to the current global weights
+        before the parallel region; ``slot_setup(model)`` (default: the
+        class's ``_eval_slot_setup`` hook) then applies any eval-time mode
+        (e.g. FedRBN's dual-BN switch) to every slot model, keeping
+        per-slot state identical across backends.
+        """
+        setup = slot_setup if slot_setup is not None else self._eval_slot_setup
+        state: dict = {}
+
+        def prepare(slot: int) -> None:
+            model = self._slot_model(slot)
+            if slot != 0:
+                if "global" not in state:
+                    state["global"] = self.global_model.state_dict()
+                model.load_state_dict(state["global"])
+            if setup is not None:
+                setup(model)
+
+        return self.eval_executor.run(
+            plan,
+            dataset if dataset is not None else self.task.test,
+            self._eval_target,
+            prepare_slot=prepare,
+        )
+
     def evaluate(self, max_samples: Optional[int] = None) -> EvalResult:
-        return evaluate_model(
-            self.global_model,
-            self.task.test,
-            eps=self.config.eps0,
-            pgd_steps=self.config.eval_pgd_steps,
-            with_autoattack=self.config.eval_with_autoattack,
-            max_samples=max_samples if max_samples is not None else self.config.eval_max_samples,
-            rng=np.random.default_rng(self.config.seed + 99),
+        return self.run_eval(
+            self.eval_plan(
+                max_samples=(
+                    max_samples if max_samples is not None else self.config.eval_max_samples
+                )
+            )
         )
 
     def run(self, rounds: Optional[int] = None, verbose: bool = False) -> List[RoundRecord]:
@@ -225,13 +310,7 @@ class FederatedExperiment(ABC):
         return self.history
 
     def final_eval(self, max_samples: Optional[int] = None) -> EvalResult:
-        """Full evaluation (with AutoAttack if configured) of the final model."""
-        return evaluate_model(
-            self.global_model,
-            self.task.test,
-            eps=self.config.eps0,
-            pgd_steps=self.config.eval_pgd_steps,
-            with_autoattack=True,
-            max_samples=max_samples,
-            rng=np.random.default_rng(self.config.seed + 999),
+        """Full evaluation (with AutoAttack) of the final model."""
+        return self.run_eval(
+            self.eval_plan(max_samples=max_samples, with_autoattack=True, seed_offset=999)
         )

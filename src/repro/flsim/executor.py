@@ -83,6 +83,16 @@ class RoundExecutor:
         """Effective worker count for a round of ``num_items`` work units."""
         return max(1, min(self.max_workers, num_items))
 
+    def forks_for(self, num_items: int) -> bool:
+        """Whether :meth:`map` will actually fork for this many items.
+
+        The process backend falls back to the caller's thread when a
+        single worker suffices; callers merging child-side state (cache
+        entries, counter deltas) must mirror that dispatch exactly or they
+        would double-count in-process work.
+        """
+        return self.backend == "process" and self.workers_for(num_items) > 1
+
     def slots_for(self, num_items: int) -> List[int]:
         """The worker-slot ids :meth:`map` will hand to the work function.
 

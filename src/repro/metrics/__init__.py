@@ -1,11 +1,20 @@
 """Evaluation metrics: clean accuracy, PGD accuracy, AutoAttack accuracy."""
 
-from repro.metrics.evaluation import evaluate_model, EvalResult
+from repro.metrics.evaluation import (
+    AttackSpec,
+    EvalPlan,
+    EvalResult,
+    evaluate_model,
+    shard_rng,
+)
 from repro.metrics.robustness import empirical_robustness_constant, output_perturbation
 
 __all__ = [
+    "AttackSpec",
+    "EvalPlan",
     "evaluate_model",
     "EvalResult",
+    "shard_rng",
     "empirical_robustness_constant",
     "output_perturbation",
 ]

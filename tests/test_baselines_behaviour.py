@@ -10,6 +10,7 @@ from repro.flsim import FLConfig
 from repro.hardware import Device, DeviceState
 from repro.models import build_cnn, build_vgg
 from repro.nn import DualBatchNorm2d
+from repro.nn.normalization import set_dual_bn_mode
 
 SHAPE = (3, 8, 8)
 
@@ -94,6 +95,53 @@ class TestFedRBNMechanism:
         exp = FedRBN(_task(), self._dual_builder, _cfg())
         assert exp._adv_stat_keys
         assert all(k.endswith("_adv") for k in exp._adv_stat_keys)
+
+    def test_dual_bn_eval_kwargs_reach_every_eval_slot(self):
+        """FedRBN evaluates with *adversarial* BN statistics on all backends.
+
+        The dual-BN switch is a module attribute, invisible to the
+        state-dict sync that prepares thread replicas — it must travel
+        through the eval plan's slot-setup hook.  Verifies (a) parallel
+        evaluation is bit-identical to serial, (b) every replica that
+        evaluated was flipped to adversarial mode, and (c) the kwarg is
+        load-bearing: clean-statistics evaluation differs.
+        """
+
+        def build(eval_backend):
+            exp = FedRBN(
+                _task(), self._dual_builder,
+                _cfg(rounds=2, local_iters=2, train_pgd_steps=2,
+                     eval_backend=eval_backend, eval_parallelism=2),
+            )
+            exp.run()
+            return exp
+
+        serial, threaded = build("serial"), build("thread")
+        res_serial = serial.evaluate(max_samples=16)
+        res_thread = threaded.evaluate(max_samples=16)
+        assert res_serial.clean_acc == res_thread.clean_acc
+        assert res_serial.pgd_acc == res_thread.pgd_acc
+
+        # every slot model the threaded eval touched is in adversarial mode
+        models = [threaded.global_model] + list(threaded._slot_models.values())
+        assert len(models) > 1, "thread eval should have built replicas"
+        for model in models:
+            flags = [
+                m.adversarial_mode
+                for m in model.modules()
+                if isinstance(m, DualBatchNorm2d)
+            ]
+            assert flags and all(flags)
+
+        # the switch is load-bearing: the two statistic banks diverged under
+        # AT, so the evaluated function differs between modes
+        x = threaded.task.test.x[:8]
+        set_dual_bn_mode(threaded.global_model, adversarial=True)
+        adv_logits = threaded.global_model(x)
+        set_dual_bn_mode(threaded.global_model, adversarial=False)
+        clean_logits = threaded.global_model(x)
+        set_dual_bn_mode(threaded.global_model, adversarial=True)
+        assert not np.allclose(adv_logits, clean_logits)
 
 
 class TestKDArchitectureRouting:
