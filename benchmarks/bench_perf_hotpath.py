@@ -30,6 +30,13 @@ checked for bit-identity when fork() exists).  All backends must produce
 **bit-identical** EvalResults — a mismatch fails the run outright — and
 on ≥2-core machines the thread-sharded pass must be ≥1.5× faster.
 
+A sixth section benchmarks the **pipeline engine** (PR 4): a short
+round+eval loop with the classic phase barrier vs ``overlap_eval`` (eval
+shards of round *r* streaming through the unified scheduler concurrently
+with round *r+1*'s clients).  The eval stream must be bit-identical
+between the modes, and on ≥4-core machines the overlapped run must be
+≥1.2× faster.
+
 ``BENCH_PERF.json`` (repo root) keeps a **history**: one entry per run,
 keyed by git SHA + date, so the perf trajectory across PRs stays visible;
 a metric dropping more than 20 % against the previous same-scale entry
@@ -62,13 +69,14 @@ REGRESSION_TOLERANCE = 0.20  # warn when a metric drops >20% vs previous run
 
 SCALES = {
     # (conv batch, conv reps, pgd batch, pgd steps, round local_iters, round
-    #  clients, eval samples / shard batch for the evaluation engine)
+    #  clients, eval samples / shard batch for the evaluation engine,
+    #  rounds per timed pipeline run)
     "quick": dict(conv_batch=64, reps=3, pgd_batch=64, pgd_steps=10,
                   local_iters=6, clients_per_round=3, train_per_class=40,
-                  eval_samples=64, eval_batch=16),
+                  eval_samples=64, eval_batch=16, pipeline_rounds=3),
     "full": dict(conv_batch=128, reps=5, pgd_batch=128, pgd_steps=10,
                  local_iters=8, clients_per_round=5, train_per_class=80,
-                 eval_samples=192, eval_batch=32),
+                 eval_samples=192, eval_batch=32, pipeline_rounds=4),
 }
 
 MODES = {
@@ -317,6 +325,79 @@ def bench_eval_engine(params: dict) -> Dict[str, dict]:
     return out
 
 
+def bench_pipeline_engine(params: dict) -> Dict[str, dict]:
+    """The unified task scheduler: barrier vs overlapped round+eval.
+
+    A short jFAT run evaluating every round, on the thread backend, under
+
+    * ``barrier``    — the PR 3 path: the eval shards run after the round
+      completes, on the same pool, before the next round starts;
+    * ``overlapped`` — ``overlap_eval=True``: each round publishes an
+      immutable weight snapshot and its eval shards stream through the
+      scheduler concurrently with the next round's clients.
+
+    The round deliberately under-fills the pool (fewer clients than
+    workers) — the realistic straggler regime where overlap pays: idle
+    cores absorb the previous round's eval shards.  The eval stream must
+    be **bit-identical** between the two modes (hard failure otherwise);
+    on ≥4-core machines the overlapped run must be ≥1.2× faster.
+    """
+    from repro.baselines import JointFAT
+    from repro.flsim import FLConfig
+
+    cpus = os.cpu_count() or 1
+    workers = max(2, min(cpus, 4))
+    clients = max(2, workers // 2)
+    rounds = params["pipeline_rounds"]
+
+    def build(overlap: bool) -> JointFAT:
+        task = make_cifar10_like(
+            image_size=8, train_per_class=params["train_per_class"],
+            test_per_class=25, seed=0,
+        )
+        cfg = FLConfig(
+            num_clients=6, clients_per_round=clients,
+            local_iters=params["local_iters"], batch_size=32, lr=0.05,
+            rounds=rounds, train_pgd_steps=2,
+            eval_pgd_steps=params["pgd_steps"], eval_every=1,
+            eval_max_samples=params["eval_samples"], seed=0,
+            executor_backend="thread", round_parallelism=workers,
+            overlap_eval=overlap,
+        )
+        return JointFAT(
+            task,
+            lambda rng: build_vgg("vgg11", 10, (3, 8, 8), width_mult=0.25, rng=rng),
+            cfg,
+        )
+
+    out: Dict[str, dict] = {
+        "cpus": cpus, "workers": workers,
+        "clients_per_round": clients, "rounds": rounds,
+    }
+    evals = {}
+    for name, overlap in (("barrier", False), ("overlapped", True)):
+        best = float("inf")
+        history = None
+        for _ in range(params["reps"]):
+            exp = build(overlap)
+            t0 = time.perf_counter()
+            history = exp.run()
+            best = min(best, time.perf_counter() - t0)
+            exp.close()
+        evals[name] = [r.eval.as_dict() for r in history]
+        out[name] = {"seconds": best, "rounds_per_sec": rounds / best}
+    if evals["overlapped"] != evals["barrier"]:
+        raise SystemExit(
+            "FAIL: pipeline_engine overlapped eval stream diverged from the "
+            f"barrier path: {evals['overlapped']} != {evals['barrier']}"
+        )
+    out["identical_eval_stream"] = True
+    out["speedups"] = {
+        "overlapped_round_eval": out["barrier"]["seconds"] / out["overlapped"]["seconds"]
+    }
+    return out
+
+
 def run_mode(mode: str, params: dict) -> Dict[str, dict]:
     spec = MODES[mode]
     previous = set_fast_path(spec["fast_path"])
@@ -366,6 +447,10 @@ def _flat_metrics(entry: dict) -> Dict[str, float]:
         rec = entry.get("eval_engine", {}).get(variant)
         if rec is not None:
             out[f"eval_engine.{variant}"] = rec["samples_per_sec"]
+    for variant in ("barrier", "overlapped"):
+        rec = entry.get("pipeline_engine", {}).get(variant)
+        if rec is not None:
+            out[f"pipeline_engine.{variant}"] = rec["rounds_per_sec"]
     return out
 
 
@@ -495,6 +580,32 @@ def main() -> dict:
         f"thread-sharded eval: {ee['speedups']['thread_sharded_eval']:.2f}x"
     )
 
+    # Pipeline engine: barrier vs overlapped round+eval on the scheduler.
+    previous_fast = set_fast_path(True)
+    try:
+        report["pipeline_engine"] = bench_pipeline_engine(params)
+    finally:
+        set_fast_path(previous_fast)
+    pe = report["pipeline_engine"]
+    print(
+        format_table(
+            ["mode", "seconds", "rounds/s"],
+            [
+                (name, f"{pe[name]['seconds']:.3f}", f"{pe[name]['rounds_per_sec']:.2f}")
+                for name in ("barrier", "overlapped")
+            ],
+            title=(
+                f"Pipeline engine (round+eval x{pe['rounds']}) — "
+                f"{pe['clients_per_round']} client(s)/round on {pe['workers']} "
+                f"worker(s), {pe['cpus']} cpu(s), eval stream bit-identical: "
+                f"{pe['identical_eval_stream']}"
+            ),
+        )
+    )
+    print(
+        f"overlapped round+eval: {pe['speedups']['overlapped_round_eval']:.2f}x"
+    )
+
     out_path = Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
     history = _load_history(out_path)
     for warning in _check_regressions(history, report):
@@ -527,6 +638,17 @@ def main() -> dict:
         print(
             "NOTE: single-core runner; the >=1.5x parallel round/eval gates "
             "need >=2 cores and were skipped"
+        )
+    if pe["cpus"] >= 4:
+        if pe["speedups"]["overlapped_round_eval"] < 1.2:
+            failures.append(
+                "pipeline_engine overlapped round+eval speedup "
+                f"{pe['speedups']['overlapped_round_eval']:.2f}x < 1.2x"
+            )
+    else:
+        print(
+            "NOTE: <4-core runner; the >=1.2x overlapped round+eval gate "
+            "was skipped (overlap needs idle cores to absorb eval shards)"
         )
     for msg in failures:
         if enforce:

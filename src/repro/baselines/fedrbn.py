@@ -151,7 +151,7 @@ class FedRBN(FederatedExperiment):
                 )
             return snapshot_segment(model, 0, num_atoms), is_at, self._cost(dev, is_at)
 
-        results = self.executor.map(train_client, list(zip(clients, states)))
+        results = self.scheduler.run_group("train", train_client, list(zip(clients, states)))
         all_states = [r[0] for r in results]
         sizes = [client.num_samples for client in clients]
         costs = [r[2] for r in results]

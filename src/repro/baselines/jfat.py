@@ -5,16 +5,32 @@ end-to-end.  Clients whose available memory is below the model's training
 requirement fall back to memory swapping, whose data-access latency the
 hardware model charges (this is the slow-but-accurate upper-bound method
 in Table 2 / Fig. 7).
+
+jFAT is also the reference algorithm for **staleness-bounded
+asynchronous aggregation** (``aggregation_mode="async"``): because its
+aggregation is plain full-model FedAvg, client updates can merge into a
+separate server state as they land — in *simulated*-arrival order (the
+latency model's per-device cost, not wall-clock scheduling), so the
+result is deterministic and seed-reproducible at any worker count.  The
+merge schedule coalesces each round's tail so no update ever merges with
+staleness above ``max_staleness``; ``max_staleness=0`` degenerates to
+exactly synchronous FedAvg.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.attacks.pgd import PGDConfig
-from repro.core.aggregator import restore_segment, snapshot_segment
+from repro.core.aggregator import (
+    async_merge_schedule,
+    merge_async_update,
+    restore_segment,
+    snapshot_segment,
+)
 from repro.flsim.aggregation import fedavg
 from repro.flsim.base import FederatedExperiment, FLClient, FLConfig
 from repro.flsim.local import adversarial_local_train
@@ -25,10 +41,22 @@ from repro.hardware.memory import MemoryModel
 from repro.models.atoms import CascadeModel
 
 
+@dataclass(frozen=True)
+class AsyncMergeEvent:
+    """One applied merge event of an asynchronous round (observability)."""
+
+    round: int
+    event: int
+    staleness: int
+    client_ids: Tuple[int, ...]
+    alpha: float
+
+
 class JointFAT(FederatedExperiment):
     """End-to-end FAT with FedAvg aggregation."""
 
     name = "jfat"
+    supports_async_aggregation = True
 
     def __init__(
         self,
@@ -47,23 +75,23 @@ class JointFAT(FederatedExperiment):
             batch_size=config.batch_size,
             pgd_steps=config.train_pgd_steps,
         )
+        self.async_log: List[AsyncMergeEvent] = []
 
-    def run_round(
-        self,
-        round_idx: int,
-        clients: List[FLClient],
-        states: List[Optional[DeviceState]],
-    ) -> List[LocalTrainingCost]:
+    def _train_client_fn(self, round_idx: int, global_snap) -> Callable:
+        """The slot-aware work unit shared by the sync and async rounds.
+
+        The per-client latency cost is pure arithmetic over the device
+        state, so both rounds compute it once up front (the async round
+        needs it *before* training to order arrivals) and the work unit
+        returns the trained state only.
+        """
         cfg = self.config
         num_atoms = len(self.global_model.atoms)
-        # jFAT trains the whole model, so the "segment" snapshot spans every
-        # atom; each work unit restores it in place on its slot's workspace.
-        global_snap = snapshot_segment(self.global_model, 0, num_atoms)
         pgd = PGDConfig(eps=cfg.eps0, steps=cfg.train_pgd_steps, norm="linf")
         lr_t = self.lr_at(round_idx)
 
         def train_client(item, slot):
-            client, dev = item
+            client, _dev = item
             model = self._slot_model(slot)
             restore_segment(model, global_snap, 0, num_atoms)
             adversarial_local_train(
@@ -79,14 +107,99 @@ class JointFAT(FederatedExperiment):
                     cfg.seed * 1_000_003 + round_idx * 1009 + client.cid
                 ),
             )
-            return snapshot_segment(model, 0, num_atoms), self._cost(dev)
+            return snapshot_segment(model, 0, num_atoms)
 
-        results = self.executor.map(train_client, list(zip(clients, states)))
-        local_states = [r[0] for r in results]
-        costs = [r[1] for r in results]
+        return train_client
+
+    def run_round(
+        self,
+        round_idx: int,
+        clients: List[FLClient],
+        states: List[Optional[DeviceState]],
+    ) -> List[LocalTrainingCost]:
+        if self.config.aggregation_mode == "async":
+            return self._run_round_async(round_idx, clients, states)
+        num_atoms = len(self.global_model.atoms)
+        # jFAT trains the whole model, so the "segment" snapshot spans every
+        # atom; each work unit restores it in place on its slot's workspace.
+        global_snap = snapshot_segment(self.global_model, 0, num_atoms)
+        local_states = self.scheduler.run_group(
+            "train",
+            self._train_client_fn(round_idx, global_snap),
+            list(zip(clients, states)),
+        )
         sizes = [client.num_samples for client in clients]
         # fedavg covers every key, so no restore of the round snapshot needed
         self.global_model.load_state_dict(fedavg(local_states, sizes))
+        return [self._cost(dev) for dev in states]
+
+    def _run_round_async(
+        self,
+        round_idx: int,
+        clients: List[FLClient],
+        states: List[Optional[DeviceState]],
+    ) -> List[LocalTrainingCost]:
+        """Staleness-bounded asynchronous round.
+
+        Every client still trains from the round-start weights (its
+        simulated download), but updates merge into a *server state dict*
+        one event at a time in simulated-arrival order, streamed through
+        the scheduler: an update merges as soon as (a) its training has
+        actually landed and (b) every simulated-earlier event has merged.
+        The schedule bounds staleness by coalescing the round's tail (see
+        :func:`repro.core.aggregator.async_merge_schedule`); within an
+        event, members average in client order so the single-event
+        ``max_staleness=0`` schedule is bit-identical to sync FedAvg.
+        """
+        cfg = self.config
+        num_atoms = len(self.global_model.atoms)
+        global_snap = snapshot_segment(self.global_model, 0, num_atoms)
+        costs = [self._cost(dev) for dev in states]
+        # Simulated-arrival order: device latency decides who lands first;
+        # ties break by position so the order is total and reproducible.
+        order = sorted(range(len(clients)), key=lambda i: (costs[i].total_s, i))
+        events = [
+            sorted(order[pos] for pos in event)
+            for event in async_merge_schedule(len(clients), cfg.max_staleness)
+        ]
+        weights = [float(c.num_samples) for c in clients]
+        round_weight = float(sum(weights))
+        server = {k: v.copy() for k, v in global_snap.items()}
+
+        group = self.scheduler.submit_group(
+            "train",
+            self._train_client_fn(round_idx, global_snap),
+            list(zip(clients, states)),
+        )
+        landed = [False] * len(clients)
+        local_states: List[Optional[dict]] = [None] * len(clients)
+        next_event = 0
+        for idx, state in group.stream():
+            local_states[idx] = state
+            landed[idx] = True
+            while next_event < len(events) and all(
+                landed[i] for i in events[next_event]
+            ):
+                members = events[next_event]
+                alpha = merge_async_update(
+                    server,
+                    [local_states[i] for i in members],
+                    [weights[i] for i in members],
+                    round_weight,
+                    staleness=next_event,
+                )
+                self.async_log.append(
+                    AsyncMergeEvent(
+                        round=round_idx,
+                        event=next_event,
+                        staleness=next_event,
+                        client_ids=tuple(clients[i].cid for i in members),
+                        alpha=alpha,
+                    )
+                )
+                next_event += 1
+        assert next_event == len(events), "async merge schedule did not drain"
+        self.global_model.load_state_dict(server)
         return costs
 
     def _cost(self, state: Optional[DeviceState]) -> LocalTrainingCost:

@@ -88,7 +88,7 @@ class PartialTrainingFAT(FederatedExperiment):
             update = (scattered, mask, float(client.num_samples))
             return update, self._cost(dev, piece.model)
 
-        results = self.executor.map(train_client, list(zip(clients, states)))
+        results = self.scheduler.run_group("train", train_client, list(zip(clients, states)))
         updates = [r[0] for r in results]
         costs = [r[1] for r in results]
         self.global_model.load_state_dict(

@@ -101,13 +101,21 @@ def _cmd_train(args: argparse.Namespace) -> int:
         "vgg11", 10, shape, width_mult=args.width_mult, rng=rng
     )
     sampler = DeviceSampler(device_pool("cifar10"), args.heterogeneity)
+    # --overlap-eval pipelines *periodic* evaluation, so it implies one
+    # unless --eval-every says otherwise (the historical default skips
+    # periodic eval entirely and only measures at the end).
+    eval_every = args.eval_every
+    if eval_every is None:
+        eval_every = max(1, args.rounds // 4) if args.overlap_eval else 0
     common = dict(
         num_clients=args.clients, clients_per_round=args.clients_per_round,
         local_iters=args.local_iters, batch_size=args.batch_size, lr=args.lr,
-        train_pgd_steps=args.pgd_steps, eval_pgd_steps=5, eval_every=0,
+        train_pgd_steps=args.pgd_steps, eval_pgd_steps=5, eval_every=eval_every,
         eval_max_samples=150, seed=args.seed,
-        executor_backend=args.executor, round_parallelism=args.parallelism,
+        executor_backend=args.executor, round_parallelism=args.round_parallelism,
         eval_parallelism=args.eval_parallelism,
+        aggregation_mode=args.aggregation_mode, max_staleness=args.max_staleness,
+        overlap_eval=args.overlap_eval, split_autoattack=args.split_autoattack,
     )
     if args.method == "fedprophet":
         exp = FedProphet(
@@ -124,6 +132,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
         }[args.method]
         exp = cls(task, builder, FLConfig(rounds=args.rounds, **common),
                   device_sampler=sampler)
+    if args.verbose:
+        # Resolved worker counts for both engines (the CLI flags are caps;
+        # None resolves to the CPU count / the round engine's settings).
+        print(exp.describe_parallelism())
     exp.run(verbose=args.verbose)
     res = exp.final_eval(max_samples=150)
     print(
@@ -175,11 +187,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--executor", default="serial",
                    choices=["serial", "thread", "process"],
                    help="round execution backend (bit-identical results)")
-    p.add_argument("--parallelism", type=int, default=None,
-                   help="worker cap for parallel backends (default: CPU count)")
+    p.add_argument("--round-parallelism", "--parallelism", dest="round_parallelism",
+                   type=int, default=None,
+                   help="worker cap for the round execution engine "
+                        "(default: CPU count; --parallelism is a legacy alias)")
     p.add_argument("--eval-parallelism", type=int, default=None,
                    help="worker cap for the sharded evaluation engine "
-                        "(default: follow --parallelism)")
+                        "(default: follow --round-parallelism)")
+    p.add_argument("--aggregation-mode", default="sync", choices=["sync", "async"],
+                   help="sync: round-barrier FedAvg (bit-identical reference); "
+                        "async: staleness-bounded merge in simulated-arrival "
+                        "order (jfat only)")
+    p.add_argument("--max-staleness", type=int, default=4,
+                   help="merge-event staleness bound for --aggregation-mode "
+                        "async")
+    p.add_argument("--eval-every", type=int, default=None,
+                   help="evaluate every K rounds during training (default: 0 "
+                        "= final eval only; --overlap-eval implies rounds/4)")
+    p.add_argument("--overlap-eval", action="store_true",
+                   help="pipeline periodic evaluation with the next round's "
+                        "training (thread backend; eval reads a published "
+                        "weight snapshot, bit-identical to the barrier path)")
+    p.add_argument("--split-autoattack", action="store_true",
+                   help="shard AutoAttack into FGSM/PGD/APGD ensemble members "
+                        "to shorten the eval critical path")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_train)
     return parser

@@ -19,6 +19,10 @@ from repro.core.dma import SegmentCostTable, assign_modules
 from repro.core.aggregator import (
     aggregate_modules,
     aggregate_heads,
+    async_merge_schedule,
+    merge_async_update,
+    publish_snapshot,
+    PublishedWeights,
     snapshot_segment,
     restore_segment,
 )
@@ -40,6 +44,10 @@ __all__ = [
     "assign_modules",
     "aggregate_modules",
     "aggregate_heads",
+    "async_merge_schedule",
+    "merge_async_update",
+    "publish_snapshot",
+    "PublishedWeights",
     "snapshot_segment",
     "restore_segment",
     "FedProphet",

@@ -4,11 +4,25 @@ With DMA, different clients return different module spans.  Module n is
 averaged over the clients who trained it (those with M_k ≥ n), weighted by
 local data size; head n is averaged over the clients whose *last* module
 was n (M_k = n), since only they trained that head.
+
+The module also owns the server-side weight-publication and asynchronous
+merge primitives of the unified task scheduler:
+
+* :func:`publish_snapshot` — double-buffered global weights: an immutable
+  (read-only arrays) copy of the model state that concurrent evaluation
+  shards read while the live model trains the next round;
+* :func:`async_merge_schedule` / :func:`merge_async_update` —
+  staleness-bounded asynchronous aggregation: client updates merge into a
+  server state dict in (simulated) arrival order, each merge event
+  attenuated by its staleness, with the bound enforced by coalescing the
+  tail of a round into the last permitted event.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -133,3 +147,91 @@ def aggregate_heads(
             [state for state, _ in trainers], [w for _, w in trainers]
         )
         head.load_state_dict(merged)
+
+
+# ---------------------------------------------------------------------------
+# Double-buffered weight publication (eval/training overlap)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PublishedWeights:
+    """An immutable, versioned view of the global weights.
+
+    ``state`` maps every state-dict key to a **read-only** array copy, so
+    evaluation shards for round *r* can keep reading it while the live
+    model already trains round *r+1* — the double-buffer that makes
+    eval/training overlap race-free.  Loading it into a replica is
+    bit-identical to loading the live state dict at publication time.
+    """
+
+    version: int
+    state: Mapping[str, np.ndarray]
+
+
+def publish_snapshot(model: Module, version: int = 0) -> PublishedWeights:
+    """Publish the model's current weights as an immutable snapshot."""
+    state: StateDict = {}
+    for key, value in model.state_dict().items():  # state_dict already copies
+        value.flags.writeable = False
+        state[key] = value
+    return PublishedWeights(version=version, state=MappingProxyType(state))
+
+
+# ---------------------------------------------------------------------------
+# Staleness-bounded asynchronous aggregation
+# ---------------------------------------------------------------------------
+
+
+def async_merge_schedule(num_updates: int, max_staleness: int) -> List[List[int]]:
+    """Group arrival positions into merge events respecting the bound.
+
+    The server merges client updates one event at a time in arrival
+    order; an update merged by event *k* has staleness *k* (the number of
+    merge events applied to the server since the update's round-start
+    base).  The schedule keeps early arrivals as singleton events and
+    coalesces the tail of the round into the last event the bound allows,
+    so every update's staleness is ≤ ``max_staleness``.  With
+    ``max_staleness=0`` the whole round coalesces into one event —
+    synchronous FedAvg.
+    """
+    if num_updates < 0:
+        raise ValueError("num_updates must be >= 0")
+    if max_staleness < 0:
+        raise ValueError("max_staleness must be >= 0")
+    if num_updates == 0:
+        return []
+    cut = min(num_updates, max_staleness + 1)
+    events = [[i] for i in range(cut)]
+    events[-1].extend(range(cut, num_updates))
+    return events
+
+
+def merge_async_update(
+    server: StateDict,
+    states: Sequence[StateDict],
+    weights: Sequence[float],
+    round_weight: float,
+    staleness: int,
+) -> float:
+    """Merge one event's client updates into ``server`` in place (FedAsync).
+
+    The event's updates are weighted-averaged, then mixed into the server
+    state with rate ``alpha = (event weight / round weight) / (1 +
+    staleness)`` — the polynomial staleness attenuation of FedAsync (Xie
+    et al., 2019).  ``alpha == 1`` (a single event carrying the whole
+    round at staleness 0) replaces the server state outright, making the
+    ``max_staleness=0`` schedule bit-identical to synchronous FedAvg.
+    Returns the applied mixing rate.
+    """
+    if round_weight <= 0:
+        raise ValueError("round_weight must be positive")
+    merged = weighted_average_states(states, weights)
+    alpha = (float(sum(weights)) / round_weight) / (1.0 + staleness)
+    if alpha >= 1.0:
+        for key, value in merged.items():
+            server[key] = value
+        return 1.0
+    for key, value in merged.items():
+        server[key] = server[key] + alpha * (value - server[key])
+    return alpha

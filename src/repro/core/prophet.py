@@ -74,6 +74,10 @@ class FedProphet(FederatedExperiment):
     """Memory-efficient FAT via robust and consistent cascade learning."""
 
     name = "fedprophet"
+    # cascade_eval feeds APA's epsilon schedule and the per-module
+    # early-stop each round, so evaluation sits on the algorithm's
+    # critical path and cannot be overlapped with the next round.
+    supports_overlap_eval = False
 
     def __init__(
         self,
@@ -200,9 +204,12 @@ class FedProphet(FederatedExperiment):
             if slot == 0:
                 return
             if "model" not in state:
-                state["model"] = self.global_model.state_dict()
+                # The evaluated chain reads atoms [0, stop) only, so ship a
+                # segment-scoped snapshot instead of the full state dict —
+                # the untrained suffix beyond `stop` never runs here.
+                state["model"] = snapshot_segment(self.global_model, 0, stop)
                 state["head"] = head.state_dict() if head is not None else None
-            self._slot_model(slot).load_state_dict(state["model"])
+            restore_segment(self._slot_model(slot), state["model"], 0, stop)
             if state["head"] is not None:
                 self._slot_heads(slot)[module_idx].load_state_dict(state["head"])
 
@@ -340,8 +347,8 @@ class FedProphet(FederatedExperiment):
             cost = self._client_cost(dev_state, m, mk)
             return seg_state, head_state, cost, cache_key, cache_entry, counters
 
-        results = self.executor.map(
-            train_client, list(zip(clients, states, assignments))
+        results = self.scheduler.run_group(
+            "train", train_client, list(zip(clients, states, assignments))
         )
         seg_states = [r[0] for r in results]
         client_head_states = [r[1] for r in results]

@@ -10,16 +10,20 @@ figures (Fig. 7, Table 4) measure.
 from repro.flsim.base import FLConfig, FLClient, RoundRecord, FederatedExperiment
 from repro.flsim.aggregation import fedavg, weighted_average_states, masked_partial_average
 from repro.flsim.executor import BACKENDS, RoundExecutor
-from repro.flsim.eval_executor import EvalExecutor, EvalShard, EvalTarget
+from repro.flsim.scheduler import FLScheduler, TaskGroup
+from repro.flsim.eval_executor import EvalExecutor, EvalShard, EvalTarget, PendingEval
 from repro.flsim.local import adversarial_local_train, standard_local_train
 from repro.flsim.history import history_rows, export_csv, time_to_accuracy, best_round
 
 __all__ = [
     "BACKENDS",
     "RoundExecutor",
+    "FLScheduler",
+    "TaskGroup",
     "EvalExecutor",
     "EvalShard",
     "EvalTarget",
+    "PendingEval",
     "FLConfig",
     "FLClient",
     "RoundRecord",

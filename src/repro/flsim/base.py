@@ -19,8 +19,9 @@ from repro.attacks import ModelWithLoss
 from repro.data.dataset import ArrayDataset
 from repro.data.partition import pathological_partition
 from repro.data.synthetic import SyntheticImageTask
-from repro.flsim.eval_executor import EvalExecutor, EvalTarget
+from repro.flsim.eval_executor import EvalExecutor, EvalTarget, PendingEval
 from repro.flsim.executor import BACKENDS, RoundExecutor
+from repro.flsim.scheduler import FLScheduler
 from repro.hardware.devices import DeviceSampler, DeviceState
 from repro.hardware.latency import LatencyModel, LocalTrainingCost
 from repro.metrics.evaluation import EvalPlan, EvalResult
@@ -46,6 +47,29 @@ class FLConfig:
     the same way; both default (None) to the round-engine settings, so a
     parallel experiment evaluates in parallel too.  Evaluation results are
     bit-identical across backends and worker counts.
+
+    ``aggregation_mode`` selects how client updates reach the server:
+    ``"sync"`` (default) is the classic round barrier — bit-identical to
+    the pre-scheduler engine on every backend and worker count;
+    ``"async"`` (opt-in, experiments that declare
+    ``supports_async_aggregation``) merges updates as they land, in
+    simulated-arrival order, with FedAsync staleness attenuation bounded
+    by ``max_staleness`` merge events — deterministic and
+    seed-reproducible at any worker count because arrival order derives
+    from the simulated latency model, never from wall-clock scheduling.
+
+    ``overlap_eval`` (opt-in) pipelines periodic evaluation with the next
+    round's training: the run loop publishes an immutable weight snapshot
+    (:func:`repro.core.aggregator.publish_snapshot`) and streams the eval
+    shards through the unified scheduler while round *r+1* trains, with
+    results bit-identical to the barrier path (eval reads only the
+    snapshot).  Wall-clock overlap needs the thread backend; serial and
+    process degrade gracefully to the barrier behaviour.
+
+    ``split_autoattack`` decomposes AutoAttack evaluation into
+    independently scheduled FGSM/PGD/APGD ensemble-member shards (the
+    combined worst-case ``aa`` column is still reported), shortening the
+    eval critical path on wide machines.
     """
 
     num_clients: int = 100
@@ -68,6 +92,10 @@ class FLConfig:
     round_parallelism: Optional[int] = None
     eval_backend: Optional[str] = None
     eval_parallelism: Optional[int] = None
+    aggregation_mode: str = "sync"
+    max_staleness: int = 4
+    overlap_eval: bool = False
+    split_autoattack: bool = False
 
     def __post_init__(self):
         if self.clients_per_round > self.num_clients:
@@ -88,6 +116,13 @@ class FLConfig:
             )
         if self.eval_parallelism is not None and self.eval_parallelism < 1:
             raise ValueError("eval_parallelism must be >= 1")
+        if self.aggregation_mode not in ("sync", "async"):
+            raise ValueError(
+                f"aggregation_mode must be 'sync' or 'async', "
+                f"got {self.aggregation_mode!r}"
+            )
+        if self.max_staleness < 0:
+            raise ValueError("max_staleness must be >= 0")
 
 
 @dataclass
@@ -117,6 +152,14 @@ class FederatedExperiment(ABC):
     """Base class running the communication-round loop on a simulated clock."""
 
     name = "base"
+    #: Whether this algorithm's aggregation rule has an asynchronous,
+    #: staleness-bounded formulation (``aggregation_mode="async"``).
+    supports_async_aggregation = False
+    #: Whether periodic evaluation is purely observational (history only),
+    #: and may therefore be overlapped with the next round's training.
+    #: FedProphet turns this off: cascade_eval feeds APA and early-stop,
+    #: putting evaluation on the algorithm's critical path.
+    supports_overlap_eval = True
 
     def __init__(
         self,
@@ -147,7 +190,20 @@ class FederatedExperiment(ABC):
         self.total_access_s = 0.0
         self.history: List[RoundRecord] = []
 
+        if config.aggregation_mode == "async" and not self.supports_async_aggregation:
+            raise ValueError(
+                f"{type(self).__name__} does not support "
+                f"aggregation_mode='async'; its aggregation rule has no "
+                f"staleness-bounded formulation"
+            )
+        if config.overlap_eval and not self.supports_overlap_eval:
+            raise ValueError(
+                f"{type(self).__name__} does not support overlap_eval: its "
+                f"evaluation feeds back into training (e.g. APA/early-stop), "
+                f"so evaluation is on the algorithmic critical path"
+            )
         self.executor = RoundExecutor(config.executor_backend, config.round_parallelism)
+        self.scheduler = FLScheduler(self.executor)
         self.eval_executor = EvalExecutor(
             RoundExecutor(
                 config.eval_backend or config.executor_backend,
@@ -157,6 +213,9 @@ class FederatedExperiment(ABC):
             )
         )
         self._slot_models: dict = {}
+        self._overlap_models: dict = {}
+        self._pending_eval: Optional[Tuple[RoundRecord, PendingEval]] = None
+        self._published = None  # latest PublishedWeights (double buffer)
 
     # -- executor workspaces -------------------------------------------------
     def _slot_model(self, slot: int) -> CascadeModel:
@@ -231,6 +290,7 @@ class FederatedExperiment(ABC):
             ),
             max_samples=max_samples,
             seed=cfg.seed + seed_offset,
+            split_autoattack=cfg.split_autoattack,
         )
 
     def _eval_target(self, slot: int) -> EvalTarget:
@@ -285,6 +345,114 @@ class FederatedExperiment(ABC):
             )
         )
 
+    # -- eval/training overlap -------------------------------------------------
+    def _overlap_slot_model(self, slot: int) -> CascadeModel:
+        """Eval-only model workspaces for overlapped evaluation.
+
+        Deliberately disjoint from the training slot models (slot 0 there
+        *is* the live global model): overlapped eval shards run while the
+        next round trains, so every overlap slot — including 0 — is a
+        private replica loaded from the published snapshot.
+        """
+        model = self._overlap_models.get(slot)
+        if model is None:
+            model = self.model_builder(np.random.default_rng(self.config.seed + 7))
+            self._overlap_models[slot] = model
+        return model
+
+    def _submit_overlapped_eval(self, record: RoundRecord) -> None:
+        """Publish the current weights and stream this round's eval shards.
+
+        The snapshot is immutable (read-only arrays), so round *r+1* can
+        mutate the live model underneath the in-flight shards; the result
+        is bit-identical to the barrier path because the shards see
+        exactly the weights the barrier eval would have seen.
+        """
+        from repro.core.aggregator import publish_snapshot  # local: core imports flsim
+
+        self._published = publish_snapshot(self.global_model, version=record.round)
+        snapshot = self._published
+        setup = self._eval_slot_setup
+        plan = self.eval_plan(max_samples=self.config.eval_max_samples)
+
+        def prepare(slot: int) -> None:
+            model = self._overlap_slot_model(slot)
+            model.load_state_dict(snapshot.state)
+            if setup is not None:
+                setup(model)
+
+        def target(slot: int) -> EvalTarget:
+            return EvalTarget(ModelWithLoss(self._overlap_slot_model(slot)))
+
+        pending = self.eval_executor.submit(
+            plan, self.task.test, target, self.scheduler, prepare_slot=prepare
+        )
+        self._pending_eval = (record, pending)
+
+    def _drain_overlapped_eval(self, verbose: bool = False) -> None:
+        """Resolve the in-flight overlapped eval into its round record."""
+        if self._pending_eval is None:
+            return
+        record, pending = self._pending_eval
+        self._pending_eval = None
+        record.eval = pending.result()
+        if verbose:  # pragma: no cover - console reporting
+            self._print_eval(record)
+
+    def _print_eval(self, record: RoundRecord) -> None:  # pragma: no cover
+        e = record.eval
+        print(
+            f"[{self.name}] round {record.round + 1}: clean={e.clean_acc:.3f} "
+            f"pgd={e.pgd_acc if e.pgd_acc is None else round(e.pgd_acc, 3)} "
+            f"time={record.sim_time_s:.1f}s"
+        )
+
+    @property
+    def overlap_active(self) -> bool:
+        """Whether periodic evaluation actually pipelines with training.
+
+        Overlap streams eval shards through the *round* executor's
+        persistent pool (that is the point: idle round workers absorb
+        them), so it only buys concurrency on a multi-worker thread
+        backend.  Otherwise — serial, process, or a one-worker thread
+        pool — the run loop falls back to the barrier path, which honours
+        ``eval_backend``/``eval_parallelism``.
+        """
+        return (
+            self.config.overlap_eval
+            and self.executor.backend == "thread"
+            and self.executor.max_workers > 1
+        )
+
+    def describe_parallelism(self) -> str:
+        """The resolved execution-engine settings, for verbose reporting."""
+        cfg = self.config
+        ex, ev = self.executor, self.eval_executor.executor
+        if self.overlap_active:
+            overlap = "on (eval shards share the round pool)"
+        elif cfg.overlap_eval:
+            overlap = "requested (inactive: needs the thread round backend)"
+        else:
+            overlap = "off"
+        parts = [
+            f"round engine: {ex.backend} x{ex.max_workers}",
+            f"eval engine: {ev.backend} x{ev.max_workers}",
+            f"aggregation: {cfg.aggregation_mode}"
+            + (
+                f" (max_staleness={cfg.max_staleness})"
+                if cfg.aggregation_mode == "async"
+                else ""
+            ),
+            f"eval overlap: {overlap}",
+        ]
+        return f"[{self.name}] " + "; ".join(parts)
+
+    def close(self) -> None:
+        """Drain in-flight work and release the persistent worker pools."""
+        self._drain_overlapped_eval()
+        self.executor.close()
+        self.eval_executor.executor.close()
+
     def run(self, rounds: Optional[int] = None, verbose: bool = False) -> List[RoundRecord]:
         rounds = rounds if rounds is not None else self.config.rounds
         for t in range(rounds):
@@ -298,15 +466,17 @@ class FederatedExperiment(ABC):
                 access_s=self.total_access_s,
             )
             if self.config.eval_every and (t + 1) % self.config.eval_every == 0:
-                record.eval = self.evaluate()
-                if verbose:  # pragma: no cover - console reporting
-                    e = record.eval
-                    print(
-                        f"[{self.name}] round {t + 1}: clean={e.clean_acc:.3f} "
-                        f"pgd={e.pgd_acc if e.pgd_acc is None else round(e.pgd_acc, 3)} "
-                        f"time={self.clock_s:.1f}s"
-                    )
+                if self.overlap_active:
+                    # Double buffer: at most one eval in flight — resolve
+                    # round r-k's shards before publishing round r's.
+                    self._drain_overlapped_eval(verbose)
+                    self._submit_overlapped_eval(record)
+                else:
+                    record.eval = self.evaluate()
+                    if verbose:  # pragma: no cover - console reporting
+                        self._print_eval(record)
             self.history.append(record)
+        self._drain_overlapped_eval(verbose)
         return self.history
 
     def final_eval(self, max_samples: Optional[int] = None) -> EvalResult:

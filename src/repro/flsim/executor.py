@@ -8,9 +8,12 @@ sequentially.  :class:`RoundExecutor` turns the per-client loop of every
 backends:
 
 * ``serial``  — the reference path: a plain loop in the caller's thread;
-* ``thread``  — a pool of worker threads.  NumPy's BLAS releases the GIL
-  inside the matmuls that dominate this workload (im2col convolutions,
-  batched attacks), so threads yield real speedups without any pickling;
+* ``thread``  — a **persistent** pool of worker threads, spun up lazily on
+  first use and reused across every round and evaluation (pool
+  construction is pure overhead on short rounds).  NumPy's BLAS releases
+  the GIL inside the matmuls that dominate this workload (im2col
+  convolutions, batched attacks), so threads yield real speedups without
+  any pickling;
 * ``process`` — ``fork()``-based workers.  Each child inherits a
   copy-on-write snapshot of the experiment (global model, shards, prefix
   cache) at round start, trains its stripe of clients, and ships the
@@ -78,6 +81,30 @@ class RoundExecutor:
             )
         self.backend = backend
         self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+
+    @property
+    def thread_pool(self) -> ThreadPoolExecutor:
+        """The persistent worker-thread pool, created lazily on first use.
+
+        One pool per executor, shared by every ``map`` call and by the
+        :class:`~repro.flsim.scheduler.FLScheduler` riding on top, so
+        rounds and eval phases stop paying pool spin-up/tear-down.  The
+        process backend still forks per parallel region — the fork *is*
+        the copy-on-write snapshot of round-start state, so a persistent
+        child pool would read stale memory.
+        """
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-exec"
+            )
+        return self._thread_pool
+
+    def close(self) -> None:
+        """Shut down the persistent thread pool (idempotent)."""
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
 
     def workers_for(self, num_items: int) -> int:
         """Effective worker count for a round of ``num_items`` work units."""
@@ -131,10 +158,9 @@ class RoundExecutor:
             for i in range(w, len(items), num_workers):
                 results[i] = fn(items[i], w)
 
-        with ThreadPoolExecutor(max_workers=num_workers) as pool:
-            futures = [pool.submit(run_stripe, w) for w in range(num_workers)]
-            for future in futures:
-                future.result()
+        futures = [self.thread_pool.submit(run_stripe, w) for w in range(num_workers)]
+        for future in futures:
+            future.result()
         return results
 
     def _map_process(self, fn, items: List[Any]) -> List[Any]:

@@ -1,0 +1,260 @@
+"""Unified task scheduler: dependency-aware phases on a persistent pool.
+
+PRs 1–3 parallelised the inside of each phase, but every phase still ended
+in a hard barrier: ``RoundExecutor.map`` blocks until the slowest work
+unit finishes, and the next phase (evaluation, the next round) cannot
+start on the cores that went idle in the meantime.  :class:`FLScheduler`
+replaces the one-shot barrier with **tagged task groups** submitted onto
+the executor's persistent worker pool:
+
+* ``submit_group(tag, fn, items, deps)`` registers one phase — e.g. the
+  train-client units of round *r*, or the eval shards of a published
+  snapshot — and returns a :class:`TaskGroup` immediately;
+* groups with ``deps`` launch only once every dependency group has
+  completed (dependency tracking is callback-driven, so waiting groups
+  never occupy a worker — no pool-starvation deadlocks);
+* :meth:`TaskGroup.stream` yields ``(index, result)`` pairs in completion
+  order, so a consumer (e.g. staleness-bounded async aggregation) can act
+  on each work unit *as it lands* while its siblings are still running;
+* :meth:`TaskGroup.results` is the barrier view: results in input order,
+  exceptions re-raised — drop-in for the old ``map`` contract.
+
+Determinism contract (inherited from :class:`RoundExecutor`): results are
+a pure function of the item list.  Worker *slots* are leased per task
+from a per-group pool of ``workers_for(len(items))`` ids, so no two
+concurrent tasks of one group ever share a slot — but unlike the stripe
+assignment of ``map``, *which* slot a task gets is scheduling-dependent.
+Callers therefore must (and all experiments do) make work units
+slot-independent: every unit restores the state it trains from a shared
+snapshot, so the slot only selects a private model workspace, never an
+input.  Groups with different tags may run concurrently; callers back
+them with disjoint workspaces (train replicas vs. eval replicas).
+
+Backend mapping:
+
+* ``thread``  — tasks go to the executor's persistent
+  :class:`~concurrent.futures.ThreadPoolExecutor`; true streaming and
+  cross-phase overlap.
+* ``serial``  — tasks run eagerly, inline, at launch; streaming
+  degenerates to input order.
+* ``process`` — the group executes as one ``RoundExecutor.map`` fork
+  region at launch (the fork is the snapshot; children cannot outlive the
+  phase), completing atomically.  Cross-phase overlap needs the thread
+  backend.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.flsim.executor import RoundExecutor
+
+
+class _SlotPool:
+    """Leases worker-slot ids so concurrent tasks never share a workspace."""
+
+    def __init__(self, size: int):
+        self._free = list(range(size))
+        self._cond = threading.Condition()
+
+    def acquire(self) -> int:
+        with self._cond:
+            while not self._free:
+                self._cond.wait()
+            return self._free.pop(0)
+
+    def release(self, slot: int) -> None:
+        with self._cond:
+            self._free.append(slot)
+            self._free.sort()
+            self._cond.notify()
+
+
+class TaskGroup:
+    """One tagged phase of work: a list of items and their pending results."""
+
+    def __init__(self, tag: str, num_items: int):
+        self.tag = tag
+        self.num_items = num_items
+        self._lock = threading.Lock()
+        self._results: List[Any] = [None] * num_items
+        self._errors: List[Optional[BaseException]] = [None] * num_items
+        self._remaining = num_items
+        self._completed: "queue.SimpleQueue[Tuple[int, Any, Optional[BaseException]]]" = (
+            queue.SimpleQueue()
+        )
+        self._done = threading.Event()
+        self._on_done: List[Callable[[], None]] = []
+        if num_items == 0:
+            self._done.set()
+
+    # -- producer side (scheduler internals) -------------------------------
+    def _complete(self, index: int, result: Any, error: Optional[BaseException]) -> None:
+        callbacks: List[Callable[[], None]] = []
+        with self._lock:
+            self._results[index] = result
+            self._errors[index] = error
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._done.set()
+                callbacks, self._on_done = self._on_done, []
+        self._completed.put((index, result, error))
+        for callback in callbacks:
+            callback()
+
+    def _add_done_callback(self, callback: Callable[[], None]) -> None:
+        with self._lock:
+            if not self._done.is_set():
+                self._on_done.append(callback)
+                return
+        callback()
+
+    # -- consumer side -----------------------------------------------------
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout)
+
+    def stream(self):
+        """Yield ``(index, result)`` in completion order; single consumer.
+
+        A work-unit exception is re-raised at the point the failed unit
+        would have been yielded.
+        """
+        for _ in range(self.num_items):
+            index, result, error = self._completed.get()
+            if error is not None:
+                raise error
+            yield index, result
+
+    def results(self) -> List[Any]:
+        """Barrier view: block until done, return results in input order."""
+        self._done.wait()
+        for error in self._errors:
+            if error is not None:
+                raise error
+        return list(self._results)
+
+
+class FLScheduler:
+    """Schedules tagged task groups over a :class:`RoundExecutor`'s pool.
+
+    Parameters
+    ----------
+    executor:
+        The backing round executor.  Its backend decides the dispatch mode
+        (see module docstring) and its **persistent** thread pool carries
+        every thread-backend group, so concurrent groups — eval shards of
+        round *r* next to train clients of round *r+1* — share one set of
+        workers and idle cores absorb whichever phase has work left.
+    """
+
+    def __init__(self, executor: RoundExecutor):
+        self.executor = executor
+
+    @property
+    def backend(self) -> str:
+        return self.executor.backend
+
+    def slots_for(self, num_items: int) -> List[int]:
+        """Every slot id a group of ``num_items`` tasks may lease.
+
+        Callers pre-sync one workspace per listed slot before submitting,
+        exactly as they do for ``RoundExecutor.map``.
+        """
+        if self.executor.backend == "thread":
+            return list(range(self.executor.workers_for(num_items)))
+        return [0]
+
+    def submit_group(
+        self,
+        tag: str,
+        fn: Callable[[Any, int], Any],
+        items: Sequence[Any],
+        deps: Sequence[TaskGroup] = (),
+    ) -> TaskGroup:
+        """Register one phase; launch it once every ``deps`` group is done.
+
+        Returns the :class:`TaskGroup` immediately — consume it via
+        :meth:`TaskGroup.stream` or :meth:`TaskGroup.results`.
+        """
+        items = list(items)
+        group = TaskGroup(tag, len(items))
+        if not items:
+            return group
+        pending = [dep for dep in deps if not dep.done()]
+        if not pending:
+            self._launch(group, fn, items)
+            return group
+        remaining = [len(pending)]
+        lock = threading.Lock()
+
+        def dep_done() -> None:
+            with lock:
+                remaining[0] -= 1
+                if remaining[0] != 0:
+                    return
+            # Launch in whichever thread finished the last dependency; the
+            # serial/process launch paths run the work right here.
+            self._launch(group, fn, items)
+
+        for dep in pending:
+            dep._add_done_callback(dep_done)
+        return group
+
+    def run_group(
+        self,
+        tag: str,
+        fn: Callable[[Any, int], Any],
+        items: Sequence[Any],
+        deps: Sequence[TaskGroup] = (),
+    ) -> List[Any]:
+        """Submit a group and gather it: the ``map``-compatible barrier."""
+        return self.submit_group(tag, fn, items, deps).results()
+
+    # -- dispatch ----------------------------------------------------------
+    def _launch(self, group: TaskGroup, fn, items: List[Any]) -> None:
+        if self.executor.backend == "thread" and self.executor.max_workers > 1:
+            slots = _SlotPool(self.executor.workers_for(len(items)))
+            pool = self.executor.thread_pool
+            for i, item in enumerate(items):
+                pool.submit(self._run_task, group, fn, i, item, slots)
+            return
+        if self.executor.backend == "process" and self.executor.forks_for(len(items)):
+            # One fork region per group: barrier within the group (children
+            # must not outlive the phase), deps still honoured at launch.
+            try:
+                results = self.executor.map(fn, items)
+            except BaseException as error:  # propagate through the group
+                for i in range(len(items)):
+                    group._complete(i, None, error)
+                return
+            for i, result in enumerate(results):
+                group._complete(i, result, None)
+            return
+        for i, item in enumerate(items):  # serial (and 1-worker fallbacks)
+            try:
+                result = fn(item, 0)
+            except BaseException as error:
+                group._complete(i, None, error)
+                # eager inline dispatch: a failure aborts the rest of the
+                # group, mirroring the serial map's fail-fast behaviour
+                for j in range(i + 1, len(items)):
+                    group._complete(j, None, error)
+                return
+            group._complete(i, result, None)
+
+    @staticmethod
+    def _run_task(group: TaskGroup, fn, index: int, item: Any, slots: _SlotPool) -> None:
+        slot = slots.acquire()
+        try:
+            result = fn(item, slot)
+        except BaseException as error:
+            group._complete(index, None, error)
+        else:
+            group._complete(index, result, None)
+        finally:
+            slots.release(slot)

@@ -314,3 +314,90 @@ class TestEvalConfig:
         assert exp.executor.backend == "serial"
         assert exp.eval_executor.backend == "thread"
         assert exp.eval_executor.executor.max_workers == 2
+
+
+# ---------------------------------------------------------------------------
+# Split AutoAttack: per-member ensemble shards
+# ---------------------------------------------------------------------------
+
+
+class TestSplitAutoAttack:
+    def _plan(self, **kw):
+        defaults = dict(eps=0.01, pgd_steps=2, with_autoattack=True,
+                        split_autoattack=True, batch_size=8, seed=3)
+        defaults.update(kw)
+        return EvalPlan.standard(**defaults)
+
+    def test_members_decomposed(self):
+        plan = self._plan()
+        assert [a.name for a in plan.attacks] == [
+            "clean", "pgd", "aa_fgsm", "aa_pgd", "aa_apgd"
+        ]
+        assert plan.ensembles() == {"aa": (2, 3, 4)}
+        # three member shards per batch instead of one sequential AA sweep
+        mono = EvalPlan.standard(eps=0.01, pgd_steps=2, with_autoattack=True,
+                                 batch_size=8, seed=3)
+        engine = EvalExecutor()
+        assert len(engine.shards_for(plan, 16)) == 5 * 2
+        assert len(engine.shards_for(mono, 16)) == 3 * 2
+
+    def test_ensemble_name_collision_rejected(self):
+        with pytest.raises(ValueError, match="collides"):
+            EvalPlan(attacks=(
+                AttackSpec.clean(name="aa"),
+                *AttackSpec.autoattack_members(0.05, 2),
+            ))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bit_identical_across_backends(self, backend):
+        plan = self._plan()
+        reference = EvalExecutor(RoundExecutor("serial")).run(
+            plan, _dataset(), _replicated_targets()
+        )
+        result = EvalExecutor(RoundExecutor(backend, max_workers=3)).run(
+            plan, _dataset(), _replicated_targets()
+        )
+        _results_equal(reference, result)
+        assert set(result.attack_accs) == {
+            "clean", "pgd", "aa_fgsm", "aa_pgd", "aa_apgd", "aa"
+        }
+
+    def test_aa_column_is_worst_case_of_members(self):
+        result = EvalExecutor().run(self._plan(), _dataset(), _replicated_targets())
+        members = [result.attack_accs[k] for k in ("aa_fgsm", "aa_pgd", "aa_apgd")]
+        assert result.aa_acc is not None
+        assert result.aa_acc <= min(members) + 1e-12
+        assert result.aa_acc == result.attack_accs["aa"]
+
+    def test_aa_matches_manual_and_combination(self):
+        """One shard per member: the aa column equals the AND of the masks."""
+        ds = _dataset(24)
+        plan = self._plan(batch_size=24)
+        result = EvalExecutor().run(plan, ds, _replicated_targets())
+        model = _model(seed=99)
+        model.load_state_dict(_model().state_dict())
+        model.eval()
+        mwl = ModelWithLoss(model)
+        y = np.asarray(ds.y)
+        combined = np.ones(len(ds), dtype=bool)
+        for ai, spec in enumerate(plan.attacks):
+            if spec.ensemble != "aa":
+                continue
+            adv = spec.perturb(mwl, ds.x, y, shard_rng(plan.seed, ai, 0))
+            combined &= mwl.logits(adv).argmax(axis=1) == y
+        assert result.aa_acc == pytest.approx(combined.mean(), abs=1e-12)
+
+    def test_submit_path_matches_run(self):
+        """The scheduler submit path reduces to the same EvalResult."""
+        from repro.flsim import FLScheduler
+
+        plan = self._plan()
+        engine = EvalExecutor(RoundExecutor("serial"))
+        direct = engine.run(plan, _dataset(), _replicated_targets())
+        for backend, workers in [("serial", 1), ("thread", 2)]:
+            scheduler = FLScheduler(RoundExecutor(backend, max_workers=workers))
+            pending = engine.submit(
+                plan, _dataset(), _replicated_targets(), scheduler
+            )
+            _results_equal(direct, pending.result())
+            assert pending.done()

@@ -1,0 +1,395 @@
+"""Unified task scheduler: groups, deps, overlap, async aggregation.
+
+Load-bearing properties:
+
+* ``FLScheduler`` task groups honour declared dependencies, stream
+  completions, and gather in input order with exceptions propagated —
+  the drop-in replacement for the ``map`` barrier;
+* the default engine (``aggregation_mode="sync"``, overlap off) is
+  **bit-identical** to the pre-scheduler output on every backend at
+  1/2/4 workers;
+* overlapped evaluation (``overlap_eval=True``) reads only the published
+  immutable snapshot and reproduces the barrier path's eval stream bit
+  for bit;
+* asynchronous aggregation respects ``max_staleness``, is
+  seed-reproducible, and is deterministic across backends and worker
+  counts (simulated-arrival order, never wall-clock order);
+  ``max_staleness=0`` is exactly synchronous FedAvg.
+"""
+
+import multiprocessing
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import JointFAT
+from repro.baselines.jfat import AsyncMergeEvent
+from repro.core import FedProphet, FedProphetConfig, async_merge_schedule, publish_snapshot
+from repro.core.aggregator import merge_async_update
+from repro.data import make_cifar10_like
+from repro.flsim import FLConfig, FLScheduler, RoundExecutor
+from repro.models import build_cnn
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+BACKENDS = ["serial", "thread"] + (["process"] if HAS_FORK else [])
+
+
+def _assert_states_equal(a, b, label=""):
+    assert set(a) == set(b)
+    for k in a:
+        np.testing.assert_array_equal(a[k], b[k], err_msg=f"{label}{k}")
+
+
+# ---------------------------------------------------------------------------
+# FLScheduler unit behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestFLScheduler:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_results_in_input_order(self, backend):
+        sched = FLScheduler(RoundExecutor(backend, max_workers=3))
+        group = sched.submit_group("t", lambda i, slot: i * i, range(9))
+        assert group.results() == [i * i for i in range(9)]
+
+    def test_empty_group_is_done(self):
+        sched = FLScheduler(RoundExecutor("thread", max_workers=2))
+        group = sched.submit_group("t", lambda i, s: i, [])
+        assert group.done()
+        assert group.results() == []
+
+    def test_stream_yields_every_item_exactly_once(self):
+        sched = FLScheduler(RoundExecutor("thread", max_workers=3))
+        group = sched.submit_group("t", lambda i, slot: i + 100, range(7))
+        seen = dict(group.stream())
+        assert seen == {i: i + 100 for i in range(7)}
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_exceptions_propagate(self, backend):
+        sched = FLScheduler(RoundExecutor(backend, max_workers=2))
+
+        def boom(i, slot):
+            if i == 2:
+                raise RuntimeError("work unit failed")
+            return i
+
+        with pytest.raises(RuntimeError, match="work unit failed"):
+            sched.submit_group("t", boom, range(5)).results()
+
+    def test_dependent_group_waits_for_dep(self):
+        sched = FLScheduler(RoundExecutor("thread", max_workers=2))
+        order = []
+        lock = threading.Lock()
+
+        def slow(i, slot):
+            time.sleep(0.02)
+            with lock:
+                order.append(("a", i))
+            return i
+
+        def fast(i, slot):
+            with lock:
+                order.append(("b", i))
+            return i
+
+        first = sched.submit_group("a", slow, range(3))
+        second = sched.submit_group("b", fast, range(3), deps=[first])
+        second.results()
+        assert first.done()
+        # every "a" completion precedes every "b" start
+        assert order[:3] == [("a", 0), ("a", 1), ("a", 2)] or all(
+            tag == "a" for tag, _ in order[:3]
+        )
+        assert all(tag == "b" for tag, _ in order[3:])
+
+    def test_dep_on_completed_group_launches_immediately(self):
+        sched = FLScheduler(RoundExecutor("serial"))
+        first = sched.submit_group("a", lambda i, s: i, range(2))
+        assert first.done()
+        assert sched.submit_group("b", lambda i, s: -i, range(2), deps=[first]).results() == [0, -1]
+
+    def test_thread_slots_exclusive_within_group(self):
+        workers = 3
+        sched = FLScheduler(RoundExecutor("thread", max_workers=workers))
+        active = set()
+        lock = threading.Lock()
+        overlaps = []
+
+        def task(i, slot):
+            with lock:
+                if slot in active:
+                    overlaps.append(slot)
+                active.add(slot)
+            time.sleep(0.005)
+            with lock:
+                active.discard(slot)
+            return slot
+
+        slots = sched.submit_group("t", task, range(12)).results()
+        assert not overlaps
+        assert set(slots) <= set(range(workers))
+        assert sched.slots_for(12) == list(range(workers))
+
+    def test_serial_and_process_use_slot_zero_namespace(self):
+        assert FLScheduler(RoundExecutor("serial")).slots_for(5) == [0]
+        if HAS_FORK:
+            assert FLScheduler(RoundExecutor("process", 2)).slots_for(5) == [0]
+
+    def test_run_group_matches_map(self):
+        ex = RoundExecutor("thread", max_workers=2)
+        sched = FLScheduler(ex)
+        items = list(range(10))
+        assert sched.run_group("t", lambda i, s: i * 3, items) == ex.map(
+            lambda i, s: i * 3, items
+        )
+
+    def test_persistent_pool_reused_across_groups(self):
+        ex = RoundExecutor("thread", max_workers=2)
+        ex.map(lambda i, s: i, range(4))
+        pool = ex.thread_pool
+        FLScheduler(ex).run_group("t", lambda i, s: i, range(4))
+        assert ex.thread_pool is pool  # one pool across map and scheduler
+        ex.close()
+        assert ex._thread_pool is None
+        ex.close()  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# Published snapshots (double-buffered weights)
+# ---------------------------------------------------------------------------
+
+
+class TestPublishSnapshot:
+    def test_snapshot_is_immutable_and_stable(self):
+        model = build_cnn(2, 4, (3, 8, 8), base_channels=4, rng=np.random.default_rng(0))
+        snap = publish_snapshot(model, version=7)
+        assert snap.version == 7
+        key = next(iter(snap.state))
+        before = snap.state[key].copy()
+        with pytest.raises(ValueError):
+            snap.state[key][...] = 0.0
+        with pytest.raises(TypeError):
+            snap.state[key] = None  # mapping proxy rejects writes
+        # mutating the live model must not leak into the published view
+        for p in model.parameters():
+            p.data += 1.0
+        np.testing.assert_array_equal(snap.state[key], before)
+
+    def test_replica_loads_snapshot_bit_identically(self):
+        model = build_cnn(2, 4, (3, 8, 8), base_channels=4, rng=np.random.default_rng(0))
+        snap = publish_snapshot(model)
+        replica = build_cnn(2, 4, (3, 8, 8), base_channels=4, rng=np.random.default_rng(9))
+        replica.load_state_dict(dict(snap.state))
+        _assert_states_equal(model.state_dict(), replica.state_dict())
+
+
+# ---------------------------------------------------------------------------
+# Async merge schedule (unit level)
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncMergeSchedule:
+    def test_bound_respected_and_tail_coalesced(self):
+        assert async_merge_schedule(5, 2) == [[0], [1], [2, 3, 4]]
+        assert async_merge_schedule(3, 10) == [[0], [1], [2]]
+        assert async_merge_schedule(4, 0) == [[0, 1, 2, 3]]
+        assert async_merge_schedule(0, 3) == []
+        for n, s in [(7, 0), (7, 3), (7, 99)]:
+            events = async_merge_schedule(n, s)
+            assert sorted(i for e in events for i in e) == list(range(n))
+            assert len(events) - 1 <= s
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            async_merge_schedule(-1, 0)
+        with pytest.raises(ValueError):
+            async_merge_schedule(3, -1)
+
+    def test_single_full_event_replaces_server_exactly(self):
+        rng = np.random.default_rng(0)
+        server = {"w": rng.normal(size=(3, 3)).astype(np.float32)}
+        states = [{"w": rng.normal(size=(3, 3)).astype(np.float32)} for _ in range(3)]
+        weights = [1.0, 2.0, 3.0]
+        alpha = merge_async_update(server, states, weights, sum(weights), staleness=0)
+        assert alpha == 1.0
+        from repro.flsim.aggregation import weighted_average_states
+
+        np.testing.assert_array_equal(
+            server["w"], weighted_average_states(states, weights)["w"]
+        )
+
+    def test_stale_event_attenuated(self):
+        server = {"w": np.zeros(2, dtype=np.float32)}
+        states = [{"w": np.ones(2, dtype=np.float32)}]
+        alpha = merge_async_update(server, states, [1.0], 2.0, staleness=1)
+        assert alpha == pytest.approx(0.25)  # (1/2) / (1 + 1)
+        np.testing.assert_allclose(server["w"], 0.25)
+
+
+# ---------------------------------------------------------------------------
+# Experiment-level determinism
+# ---------------------------------------------------------------------------
+
+
+def _task():
+    return make_cifar10_like(image_size=8, train_per_class=20, test_per_class=10, seed=0)
+
+
+def _jfat(backend="serial", workers=None, **overrides):
+    defaults = dict(
+        num_clients=4, clients_per_round=3, local_iters=2, batch_size=8,
+        lr=0.02, rounds=3, train_pgd_steps=2, eval_pgd_steps=2,
+        eval_every=1, eval_max_samples=24, seed=0,
+        executor_backend=backend, round_parallelism=workers,
+    )
+    defaults.update(overrides)
+    return JointFAT(
+        _task(),
+        lambda rng: build_cnn(3, 10, (3, 8, 8), base_channels=4, rng=rng),
+        FLConfig(**defaults),
+    )
+
+
+class TestSyncDeterminism:
+    """Default mode: scheduler output == PR 3 barrier output, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        exp = _jfat("serial", workers=1)
+        history = exp.run()
+        return exp, history
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bit_identical_across_backends_and_workers(self, backend, workers, reference):
+        ref, ref_history = reference
+        exp = _jfat(backend, workers=workers)
+        history = exp.run()
+        _assert_states_equal(
+            ref.global_model.state_dict(), exp.global_model.state_dict()
+        )
+        assert len(history) == len(ref_history)
+        for a, b in zip(ref_history, history):
+            assert a.eval.as_dict() == b.eval.as_dict()
+            assert a.sim_time_s == b.sim_time_s
+
+
+class TestOverlappedEvaluation:
+    @pytest.fixture(scope="class")
+    def barrier(self):
+        exp = _jfat("serial")
+        return exp, exp.run()
+
+    @pytest.mark.parametrize("backend,workers", [("serial", 1), ("thread", 2), ("thread", 4)])
+    def test_overlap_matches_barrier_bitwise(self, backend, workers, barrier):
+        ref, ref_history = barrier
+        exp = _jfat(backend, workers=workers, overlap_eval=True)
+        history = exp.run()
+        assert all(r.eval is not None for r in history)
+        for a, b in zip(ref_history, history):
+            assert a.eval.as_dict() == b.eval.as_dict()
+            assert a.eval.attack_accs == b.eval.attack_accs
+        _assert_states_equal(
+            ref.global_model.state_dict(), exp.global_model.state_dict()
+        )
+        exp.close()
+
+    def test_overlap_publishes_each_eval_round(self, barrier):
+        exp = _jfat("thread", workers=2, overlap_eval=True, rounds=2)
+        exp.run()
+        assert exp._published is not None
+        assert exp._published.version == 1  # last eval round's snapshot
+        assert exp._pending_eval is None  # drained at run() exit
+        # overlap replicas never alias the live model
+        assert all(m is not exp.global_model for m in exp._overlap_models.values())
+        exp.close()
+
+    def test_prophet_rejects_overlap(self):
+        with pytest.raises(ValueError, match="overlap_eval"):
+            FedProphet(
+                _task(),
+                lambda rng: build_cnn(3, 10, (3, 8, 8), base_channels=4, rng=rng),
+                FedProphetConfig(
+                    num_clients=2, clients_per_round=1, rounds=1, overlap_eval=True
+                ),
+            )
+
+
+class TestAsyncAggregation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FLConfig(aggregation_mode="lazy")
+        with pytest.raises(ValueError):
+            FLConfig(max_staleness=-1)
+
+    def test_prophet_rejects_async(self):
+        with pytest.raises(ValueError, match="async"):
+            FedProphet(
+                _task(),
+                lambda rng: build_cnn(3, 10, (3, 8, 8), base_channels=4, rng=rng),
+                FedProphetConfig(
+                    num_clients=2, clients_per_round=1, rounds=1,
+                    aggregation_mode="async",
+                ),
+            )
+
+    def test_staleness_bound_respected_and_logged(self):
+        exp = _jfat(aggregation_mode="async", max_staleness=1, eval_every=0)
+        exp.run()
+        assert exp.async_log, "async rounds must log their merge events"
+        assert all(isinstance(e, AsyncMergeEvent) for e in exp.async_log)
+        assert max(e.staleness for e in exp.async_log) <= 1
+        # each round's events cover every sampled client exactly once
+        per_round = {}
+        for e in exp.async_log:
+            per_round.setdefault(e.round, []).extend(e.client_ids)
+        for cids in per_round.values():
+            assert len(cids) == len(set(cids)) == exp.config.clients_per_round
+
+    def test_seed_reproducible_at_fixed_worker_count(self):
+        a = _jfat("thread", workers=2, aggregation_mode="async", max_staleness=2)
+        b = _jfat("thread", workers=2, aggregation_mode="async", max_staleness=2)
+        a.run(), b.run()
+        _assert_states_equal(a.global_model.state_dict(), b.global_model.state_dict())
+        assert a.async_log == b.async_log
+
+    @pytest.mark.parametrize("backend,workers", [("serial", 1), ("thread", 2), ("thread", 4)])
+    def test_deterministic_across_backends_and_workers(self, backend, workers):
+        ref = _jfat("serial", aggregation_mode="async", max_staleness=2)
+        ref.run()
+        exp = _jfat(backend, workers=workers, aggregation_mode="async", max_staleness=2)
+        exp.run()
+        # simulated-arrival merge order makes async independent of
+        # wall-clock scheduling: any backend/worker count is bit-identical
+        _assert_states_equal(
+            ref.global_model.state_dict(), exp.global_model.state_dict()
+        )
+        assert ref.async_log == exp.async_log
+
+    def test_zero_staleness_is_exactly_sync(self):
+        sync = _jfat(eval_every=0)
+        sync.run()
+        async0 = _jfat(aggregation_mode="async", max_staleness=0, eval_every=0)
+        async0.run()
+        _assert_states_equal(
+            sync.global_model.state_dict(), async0.global_model.state_dict()
+        )
+        assert all(e.alpha == 1.0 and e.staleness == 0 for e in async0.async_log)
+
+    def test_async_differs_from_sync_when_stale(self):
+        # sanity that the async path actually changes the aggregation when
+        # staleness attenuation kicks in (it is not a silent no-op)
+        sync = _jfat(eval_every=0)
+        sync.run()
+        stale = _jfat(aggregation_mode="async", max_staleness=2, eval_every=0)
+        stale.run()
+        diff = sum(
+            float(np.abs(a - b).max())
+            for a, b in zip(
+                sync.global_model.state_dict().values(),
+                stale.global_model.state_dict().values(),
+            )
+        )
+        assert diff > 0
