@@ -37,11 +37,22 @@ with round *r+1*'s clients).  The eval stream must be bit-identical
 between the modes, and on ≥4-core machines the overlapped run must be
 ≥1.2× faster.
 
+A seventh section benchmarks the **cross-round async pipeline** (PR 5):
+a jFAT run under staleness-bounded async aggregation with
+``pipeline_depth=1`` (the classic round-drain) vs ``pipeline_depth>1``
+(the next round's fast clients dispatch against the latest merged server
+state while stragglers finish).  The pipelined run must be
+**bit-identical** between the serial and thread backends (hard failure —
+the merge replay is simulated-order, so wall-clock scheduling must not
+leak in), and on ≥4-core machines ≥1.2× faster than the depth-1 barrier.
+
 ``BENCH_PERF.json`` (repo root) keeps a **history**: one entry per run,
-keyed by git SHA + date, so the perf trajectory across PRs stays visible;
-a metric dropping more than 20 % against the previous same-scale entry
-prints a regression warning.  Scale via ``REPRO_BENCH_SCALE``: "quick"
-(CI-sized, default) or "full".
+keyed by git SHA + date + runner core count, so the perf trajectory
+across PRs stays visible; a metric dropping more than 20 % against the
+previous entry of the same scale **and the same ``cpu_count``** prints a
+regression warning (parallel-section throughput scales with cores, so
+cross-runner comparisons are noise, not regressions).  Scale via
+``REPRO_BENCH_SCALE``: "quick" (CI-sized, default) or "full".
 
 Run:  PYTHONPATH=src python benchmarks/bench_perf_hotpath.py
 """
@@ -398,6 +409,104 @@ def bench_pipeline_engine(params: dict) -> Dict[str, dict]:
     return out
 
 
+def bench_pipeline_async(params: dict) -> Dict[str, dict]:
+    """The cross-round async pipeline: round-drain vs pipelined dispatch.
+
+    A short jFAT run under async aggregation on the thread backend, with
+    an *unbalanced* device pool (heterogeneous simulated latencies — the
+    straggler regime cross-round dispatch exists for) and fewer clients
+    per round than workers:
+
+    * ``barrier_async`` — ``pipeline_depth=1``: every round drains before
+      the next dispatches (the PR 4 async engine);
+    * ``pipelined``     — ``pipeline_depth=3``: up to three rounds in
+      flight; fast clients of round *r+1* train against the latest merged
+      server state while round *r*'s stragglers finish, so idle workers
+      stay fed.
+
+    The pipelined run is executed on both the serial and thread backends
+    and must produce **bit-identical** final weights and merge logs (hard
+    failure otherwise); on ≥4-core machines the thread-pipelined run must
+    be ≥1.2× faster than the depth-1 barrier.
+    """
+    from repro.baselines import JointFAT
+    from repro.flsim import FLConfig
+    from repro.hardware import DeviceSampler, device_pool
+
+    cpus = os.cpu_count() or 1
+    workers = max(2, min(cpus, 4))
+    clients = max(2, workers // 2)
+    rounds = params["pipeline_rounds"] + 2
+    depth = 3
+
+    def build(pipeline_depth: int, backend: str = "thread") -> JointFAT:
+        task = make_cifar10_like(
+            image_size=8, train_per_class=params["train_per_class"],
+            test_per_class=10, seed=0,
+        )
+        cfg = FLConfig(
+            num_clients=6, clients_per_round=clients,
+            local_iters=params["local_iters"], batch_size=32, lr=0.05,
+            rounds=rounds, train_pgd_steps=2, eval_pgd_steps=2, eval_every=0,
+            seed=0, executor_backend=backend,
+            round_parallelism=workers if backend == "thread" else 1,
+            aggregation_mode="async", max_staleness=2,
+            pipeline_depth=pipeline_depth,
+        )
+        return JointFAT(
+            task,
+            lambda rng: build_vgg("vgg11", 10, (3, 8, 8), width_mult=0.25, rng=rng),
+            cfg,
+            device_sampler=DeviceSampler(device_pool("cifar10"), "unbalanced"),
+        )
+
+    out: Dict[str, dict] = {
+        "cpus": cpus, "workers": workers,
+        "clients_per_round": clients, "rounds": rounds, "depth": depth,
+    }
+    finals = {}
+    logs = {}
+    for name, pipeline_depth in (("barrier_async", 1), ("pipelined", depth)):
+        best = float("inf")
+        exp = None
+        for _ in range(params["reps"]):
+            exp = build(pipeline_depth)
+            t0 = time.perf_counter()
+            exp.run()
+            best = min(best, time.perf_counter() - t0)
+            exp.close()
+        finals[name] = exp.global_model.state_dict()
+        logs[name] = exp.async_log
+        out[name] = {
+            "seconds": best,
+            "rounds_per_sec": rounds / best,
+            "peak_in_flight": exp._last_pipeline_stats["peak_in_flight"],
+        }
+    # Hard determinism check: the pipelined schedule replays identically on
+    # the serial backend (no wall-clock overlap, same simulated order).
+    serial = build(depth, backend="serial")
+    serial.run()
+    serial.close()
+    for key, value in serial.global_model.state_dict().items():
+        if not np.array_equal(value, finals["pipelined"][key]):
+            raise SystemExit(
+                f"FAIL: pipeline_async thread backend diverged from serial "
+                f"at {key!r}"
+            )
+    if serial.async_log != logs["pipelined"]:
+        raise SystemExit(
+            "FAIL: pipeline_async merge log diverged between serial and "
+            "thread backends"
+        )
+    out["identical_backends"] = ["serial", "thread"]
+    out["speedups"] = {
+        "pipelined_async": (
+            out["barrier_async"]["seconds"] / out["pipelined"]["seconds"]
+        )
+    }
+    return out
+
+
 def run_mode(mode: str, params: dict) -> Dict[str, dict]:
     spec = MODES[mode]
     previous = set_fast_path(spec["fast_path"])
@@ -451,6 +560,10 @@ def _flat_metrics(entry: dict) -> Dict[str, float]:
         rec = entry.get("pipeline_engine", {}).get(variant)
         if rec is not None:
             out[f"pipeline_engine.{variant}"] = rec["rounds_per_sec"]
+    for variant in ("barrier_async", "pipelined"):
+        rec = entry.get("pipeline_async", {}).get(variant)
+        if rec is not None:
+            out[f"pipeline_async.{variant}"] = rec["rounds_per_sec"]
     return out
 
 
@@ -473,9 +586,22 @@ def _load_history(path: Path) -> list:
 
 
 def _check_regressions(history: list, entry: dict) -> list:
-    """Warnings for metrics that dropped >20% vs the previous same-scale run."""
+    """Warnings for metrics that dropped >20% vs the previous comparable run.
+
+    Comparable means the same scale *and* the same runner ``cpu_count``:
+    the parallel sections' throughput scales with cores, so diffing a
+    4-core entry against a 2-core one reports phantom regressions (or
+    masks real ones).  Entries from before ``cpu_count`` was recorded
+    never match — an unknown core count is not evidence of anything.
+    """
     previous = next(
-        (e for e in reversed(history) if e.get("scale") == entry["scale"]), None
+        (
+            e
+            for e in reversed(history)
+            if e.get("scale") == entry["scale"]
+            and e.get("cpu_count") == entry["cpu_count"]
+        ),
+        None,
     )
     if previous is None:
         return []
@@ -503,6 +629,7 @@ def main() -> dict:
         "sha": _git_sha(),
         "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "scale": SCALE,
+        "cpu_count": os.cpu_count() or 1,
         "modes": {},
         "speedups": {},
     }
@@ -606,6 +733,36 @@ def main() -> dict:
         f"overlapped round+eval: {pe['speedups']['overlapped_round_eval']:.2f}x"
     )
 
+    # Cross-round async pipeline: barrier async vs pipelined dispatch.
+    previous_fast = set_fast_path(True)
+    try:
+        report["pipeline_async"] = bench_pipeline_async(params)
+    finally:
+        set_fast_path(previous_fast)
+    pa = report["pipeline_async"]
+    print(
+        format_table(
+            ["mode", "seconds", "rounds/s", "peak in flight"],
+            [
+                (
+                    name,
+                    f"{pa[name]['seconds']:.3f}",
+                    f"{pa[name]['rounds_per_sec']:.2f}",
+                    str(pa[name]["peak_in_flight"]),
+                )
+                for name in ("barrier_async", "pipelined")
+            ],
+            title=(
+                f"Cross-round async pipeline (depth {pa['depth']}, "
+                f"{pa['rounds']} rounds) — {pa['clients_per_round']} "
+                f"client(s)/round on {pa['workers']} worker(s), "
+                f"{pa['cpus']} cpu(s), backends bit-identical: "
+                f"{','.join(pa['identical_backends'])}"
+            ),
+        )
+    )
+    print(f"pipelined async rounds: {pa['speedups']['pipelined_async']:.2f}x")
+
     out_path = Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
     history = _load_history(out_path)
     for warning in _check_regressions(history, report):
@@ -645,10 +802,16 @@ def main() -> dict:
                 "pipeline_engine overlapped round+eval speedup "
                 f"{pe['speedups']['overlapped_round_eval']:.2f}x < 1.2x"
             )
+        if pa["speedups"]["pipelined_async"] < 1.2:
+            failures.append(
+                "pipeline_async pipelined-vs-barrier speedup "
+                f"{pa['speedups']['pipelined_async']:.2f}x < 1.2x"
+            )
     else:
         print(
-            "NOTE: <4-core runner; the >=1.2x overlapped round+eval gate "
-            "was skipped (overlap needs idle cores to absorb eval shards)"
+            "NOTE: <4-core runner; the >=1.2x overlapped round+eval and "
+            "pipelined-async gates were skipped (both need idle cores to "
+            "absorb cross-phase work)"
         )
     for msg in failures:
         if enforce:

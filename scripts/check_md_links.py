@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Markdown link checker for README.md + docs/ (stdlib only, no network).
+
+Checks every ``[text](target)`` link in the repo's documentation:
+
+* relative file targets must exist (checked against the repo root for
+  README.md and against ``docs/`` for pages in it);
+* ``#anchor`` fragments on relative targets (and intra-page anchors)
+  must match a heading in the target file, using GitHub's slug rule
+  (lowercase, punctuation stripped, spaces to dashes);
+* ``http(s)`` and ``mailto:`` targets are recorded but not fetched — CI
+  has no business depending on external uptime.
+
+Exit status 0 when every link resolves, 1 otherwise (one line per broken
+link).  Run directly or via the ``docs`` CI job:
+
+    python scripts/check_md_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — skips images' leading "!" capture-wise (same syntax),
+# which is fine: image targets should resolve too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces→dashes."""
+    heading = re.sub(r"[`*_]", "", heading.strip()).lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    text = CODE_FENCE_RE.sub("", path.read_text())
+    return {github_slug(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def doc_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_file(path: Path) -> List[str]:
+    errors: List[str] = []
+    text = CODE_FENCE_RE.sub("", path.read_text())
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+                continue
+        else:
+            resolved = path
+        if fragment and resolved.suffix == ".md":
+            if github_slug(fragment) not in heading_slugs(resolved):
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}: missing anchor -> {target}"
+                )
+    return errors
+
+
+def main() -> int:
+    files = doc_files()
+    errors: List[str] = []
+    checked = 0
+    for path in files:
+        errors.extend(check_file(path))
+        checked += 1
+    for line in errors:
+        print(f"BROKEN: {line}")
+    print(f"checked {checked} file(s): " + ", ".join(str(f.relative_to(REPO_ROOT)) for f in files))
+    if errors:
+        print(f"{len(errors)} broken link(s)")
+        return 1
+    print("all markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,12 @@ class FedDFAT(FederatedExperiment):
 
     name = "feddf-at"
     confidence_weighted = False
+    # The server-side distillation step consumes *all* of a round's
+    # per-architecture averages at once and then runs sequential SGD on
+    # the public split — there is no per-update merge to stream, so the
+    # staleness-bounded async engine does not apply (requesting
+    # ``aggregation_mode="async"`` raises in the base constructor).
+    supports_async_aggregation = False
 
     def __init__(
         self,
@@ -104,9 +110,7 @@ class FedDFAT(FederatedExperiment):
                 pgd=pgd,
                 momentum=cfg.momentum,
                 weight_decay=cfg.weight_decay,
-                rng=np.random.default_rng(
-                    cfg.seed * 1_000_003 + round_idx * 1009 + client.cid
-                ),
+                rng=self._client_rng(round_idx, client.cid),
             )
             per_arch[arch].append((model.state_dict(), client.num_samples))
             costs.append(self._cost(dev, arch))

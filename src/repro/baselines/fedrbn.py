@@ -9,16 +9,31 @@ adversarial batch-norm statistics of the AT clients with everyone, via
 The paper finds FedRBN keeps high clean accuracy (homogeneous models) but
 weak robustness under high systematic heterogeneity, because few clients
 ever run AT — our reproduction preserves exactly that mechanism.
+
+Asynchronous aggregation (``aggregation_mode="async"``) uses a
+**staleness-aware dual-BN propagation rule**: a merge event at staleness
+*s* attenuates its running-statistics updates by the same ``1/(1+s)``
+FedAsync factor as the weights, but clean and adversarial batch-norm
+statistics blend *separately* — clean stats toward the event average of
+every member, adversarial stats toward the event average of the members
+that actually ran adversarial training (weighted against the round's
+total AT data).  At ``s=0`` with a single event both rates are exactly 1
+and the rule collapses to the synchronous propagation bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.attacks import ModelWithLoss, PGDConfig, pgd_attack
-from repro.core.aggregator import restore_segment, snapshot_segment
+from repro.core.aggregator import (
+    blend_into,
+    merge_async_update,
+    restore_segment,
+    snapshot_segment,
+)
 from repro.data.dataset import DataLoader
 from repro.flsim.aggregation import weighted_average_states
 from repro.flsim.base import FederatedExperiment, FLClient, FLConfig
@@ -42,6 +57,7 @@ class FedRBN(FederatedExperiment):
     """
 
     name = "fedrbn"
+    supports_async_aggregation = True
 
     def __init__(
         self,
@@ -114,13 +130,45 @@ class FedRBN(FederatedExperiment):
                 p.grad *= 0.5
             opt.step()
 
+    def _train_one(
+        self,
+        model,
+        client: FLClient,
+        dev: Optional[DeviceState],
+        lr_t: float,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Train one client on ``model`` in place; returns whether it ran AT.
+
+        Pure function of (model state, client shard, device state, rng):
+        shared verbatim by the sync round and the async pipeline so both
+        modes train bit-identically from the same base weights.
+        """
+        is_at = self.can_afford_at(dev)
+        if is_at:
+            self._dual_adversarial_train(model, client, lr_t, rng)
+        else:
+            cfg = self.config
+            set_dual_bn_mode(model, adversarial=False)
+            standard_local_train(
+                model,
+                client.dataset,
+                iterations=cfg.local_iters,
+                batch_size=cfg.batch_size,
+                lr=lr_t,
+                momentum=cfg.momentum,
+                weight_decay=cfg.weight_decay,
+                rng=rng,
+            )
+        return is_at
+
     def run_round(
         self,
         round_idx: int,
         clients: List[FLClient],
         states: List[Optional[DeviceState]],
     ) -> List[LocalTrainingCost]:
-        cfg = self.config
+        self._assert_sync_round()
         num_atoms = len(self.global_model.atoms)
         # Every client trains the full model: the round snapshot spans all
         # atoms and each work unit restores it in place on its slot model.
@@ -131,24 +179,8 @@ class FedRBN(FederatedExperiment):
             client, dev = item
             model = self._slot_model(slot)
             restore_segment(model, global_snap, 0, num_atoms)
-            rng = np.random.default_rng(
-                cfg.seed * 1_000_003 + round_idx * 1009 + client.cid
-            )
-            is_at = self.can_afford_at(dev)
-            if is_at:
-                self._dual_adversarial_train(model, client, lr_t, rng)
-            else:
-                set_dual_bn_mode(model, adversarial=False)
-                standard_local_train(
-                    model,
-                    client.dataset,
-                    iterations=cfg.local_iters,
-                    batch_size=cfg.batch_size,
-                    lr=lr_t,
-                    momentum=cfg.momentum,
-                    weight_decay=cfg.weight_decay,
-                    rng=rng,
-                )
+            rng = self._client_rng(round_idx, client.cid)
+            is_at = self._train_one(model, client, dev, lr_t, rng)
             return snapshot_segment(model, 0, num_atoms), is_at, self._cost(dev, is_at)
 
         results = self.scheduler.run_group("train", train_client, list(zip(clients, states)))
@@ -174,6 +206,73 @@ class FedRBN(FederatedExperiment):
                 merged[key] = global_snap[key]
         self.global_model.load_state_dict(merged)
         return costs
+
+    # -- asynchronous aggregation hooks ------------------------------------
+    def async_client_fn(self, round_idx: int, base_state) -> Callable:
+        num_atoms = len(self.global_model.atoms)
+        lr_t = self.lr_at(round_idx)
+
+        def train_client(item, slot):
+            client, dev = item
+            model = self._async_slot_model(slot)
+            restore_segment(model, base_state, 0, num_atoms)
+            rng = self._client_rng(round_idx, client.cid)
+            self._train_one(model, client, dev, lr_t, rng)
+            return snapshot_segment(model, 0, num_atoms)
+
+        return train_client
+
+    def async_client_costs(self, round_idx, clients, states):
+        return [self._cost(dev, self.can_afford_at(dev)) for dev in states]
+
+    def async_round_extra(self, round_idx, clients, states) -> Dict[str, Any]:
+        """Which sampled clients can afford AT, and their total data weight.
+
+        Pure functions of the device states, computed before training so
+        the dual-BN merge rule can weight adversarial statistics without
+        peeking at training output.
+        """
+        at = [self.can_afford_at(dev) for dev in states]
+        at_weight = float(
+            sum(float(c.num_samples) for c, is_at in zip(clients, at) if is_at)
+        )
+        return {"at": at, "at_weight": at_weight}
+
+    def async_merge_event(self, server, ctx, members, updates, staleness) -> float:
+        """Staleness-aware dual-BN propagation (the async FedRBN rule).
+
+        Weights and *clean* running statistics blend exactly like
+        FedAsync — the event average of every member, attenuated by
+        ``1/(1+s)``.  *Adversarial* running statistics blend separately,
+        toward the event average of the members that actually ran AT,
+        with their own rate ``(event AT weight / round AT weight) /
+        (1+s)`` — robustness still propagates only from AT clients, and a
+        stale event moves the shared adversarial statistics no faster
+        than it moves the weights.  Events without AT members leave the
+        adversarial statistics untouched.  A single staleness-0 event
+        reproduces the synchronous propagation bit for bit.
+        """
+        weights = [ctx.weights[i] for i in members]
+        adv_keys = set(self._adv_stat_keys)
+        plain_keys = [k for k in server if k not in adv_keys]
+        alpha = merge_async_update(
+            server, updates, weights, ctx.round_weight, staleness, keys=plain_keys
+        )
+        at_flags = ctx.extra["at"]
+        at_round_weight = ctx.extra["at_weight"]
+        position = {i: j for j, i in enumerate(members)}
+        at_members = [i for i in members if at_flags[i]]
+        if at_members and at_round_weight > 0:
+            at_states = [updates[position[i]] for i in at_members]
+            at_weights = [ctx.weights[i] for i in at_members]
+            merged = weighted_average_states(
+                at_states, at_weights, keys=self._adv_stat_keys
+            )
+            alpha_adv = (float(sum(at_weights)) / at_round_weight) / (
+                1.0 + staleness
+            )
+            blend_into(server, merged, alpha_adv)
+        return alpha
 
     def _cost(self, state: Optional[DeviceState], is_at: bool) -> LocalTrainingCost:
         if state is None:

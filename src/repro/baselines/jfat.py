@@ -13,26 +13,29 @@ separate server state as they land — in *simulated*-arrival order (the
 latency model's per-device cost, not wall-clock scheduling), so the
 result is deterministic and seed-reproducible at any worker count.  The
 merge schedule coalesces each round's tail so no update ever merges with
-staleness above ``max_staleness``; ``max_staleness=0`` degenerates to
-exactly synchronous FedAvg.
+an intra-round lag above ``max_staleness``; ``max_staleness=0`` with
+``pipeline_depth=1`` degenerates to exactly synchronous FedAvg.  With
+``pipeline_depth>1`` the generic cross-round pipeline
+(:meth:`repro.flsim.base.FederatedExperiment._run_async`) additionally
+dispatches the next round's fast clients against the latest merged
+server state while this round's stragglers are still training.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.attacks.pgd import PGDConfig
-from repro.core.aggregator import (
-    async_merge_schedule,
-    merge_async_update,
-    restore_segment,
-    snapshot_segment,
-)
+from repro.core.aggregator import restore_segment, snapshot_segment
 from repro.flsim.aggregation import fedavg
-from repro.flsim.base import FederatedExperiment, FLClient, FLConfig
+from repro.flsim.base import (
+    AsyncMergeEvent,
+    FederatedExperiment,
+    FLClient,
+    FLConfig,
+)
 from repro.flsim.local import adversarial_local_train
 from repro.hardware.devices import DeviceSampler, DeviceState
 from repro.hardware.flops import training_flops_per_iteration
@@ -40,16 +43,7 @@ from repro.hardware.latency import LatencyModel, LocalTrainingCost
 from repro.hardware.memory import MemoryModel
 from repro.models.atoms import CascadeModel
 
-
-@dataclass(frozen=True)
-class AsyncMergeEvent:
-    """One applied merge event of an asynchronous round (observability)."""
-
-    round: int
-    event: int
-    staleness: int
-    client_ids: Tuple[int, ...]
-    alpha: float
+__all__ = ["JointFAT", "AsyncMergeEvent"]
 
 
 class JointFAT(FederatedExperiment):
@@ -75,24 +69,35 @@ class JointFAT(FederatedExperiment):
             batch_size=config.batch_size,
             pgd_steps=config.train_pgd_steps,
         )
-        self.async_log: List[AsyncMergeEvent] = []
 
-    def _train_client_fn(self, round_idx: int, global_snap) -> Callable:
+    def _train_client_fn(
+        self,
+        round_idx: int,
+        global_snap: Dict[str, np.ndarray],
+        slot_model: Optional[Callable[[int], CascadeModel]] = None,
+    ) -> Callable:
         """The slot-aware work unit shared by the sync and async rounds.
 
         The per-client latency cost is pure arithmetic over the device
-        state, so both rounds compute it once up front (the async round
-        needs it *before* training to order arrivals) and the work unit
-        returns the trained state only.
+        state, so both modes compute it once up front (async needs it
+        *before* training to order arrivals) and the work unit returns
+        the trained state only.  ``slot_model`` maps a slot to its model
+        workspace: the sync round trains on the regular slot models (slot
+        0 is the global model); the async pipeline passes
+        ``_async_slot_model`` so concurrent rounds never touch the live
+        model.  Training is a pure function of (``global_snap``, the
+        client's shard, a counter-derived RNG) — bit-identical on every
+        backend.
         """
         cfg = self.config
+        get_model = slot_model if slot_model is not None else self._slot_model
         num_atoms = len(self.global_model.atoms)
         pgd = PGDConfig(eps=cfg.eps0, steps=cfg.train_pgd_steps, norm="linf")
         lr_t = self.lr_at(round_idx)
 
         def train_client(item, slot):
             client, _dev = item
-            model = self._slot_model(slot)
+            model = get_model(slot)
             restore_segment(model, global_snap, 0, num_atoms)
             adversarial_local_train(
                 model,
@@ -103,9 +108,7 @@ class JointFAT(FederatedExperiment):
                 pgd=pgd,
                 momentum=cfg.momentum,
                 weight_decay=cfg.weight_decay,
-                rng=np.random.default_rng(
-                    cfg.seed * 1_000_003 + round_idx * 1009 + client.cid
-                ),
+                rng=self._client_rng(round_idx, client.cid),
             )
             return snapshot_segment(model, 0, num_atoms)
 
@@ -117,8 +120,7 @@ class JointFAT(FederatedExperiment):
         clients: List[FLClient],
         states: List[Optional[DeviceState]],
     ) -> List[LocalTrainingCost]:
-        if self.config.aggregation_mode == "async":
-            return self._run_round_async(round_idx, clients, states)
+        self._assert_sync_round()
         num_atoms = len(self.global_model.atoms)
         # jFAT trains the whole model, so the "segment" snapshot spans every
         # atom; each work unit restores it in place on its slot's workspace.
@@ -133,74 +135,14 @@ class JointFAT(FederatedExperiment):
         self.global_model.load_state_dict(fedavg(local_states, sizes))
         return [self._cost(dev) for dev in states]
 
-    def _run_round_async(
-        self,
-        round_idx: int,
-        clients: List[FLClient],
-        states: List[Optional[DeviceState]],
-    ) -> List[LocalTrainingCost]:
-        """Staleness-bounded asynchronous round.
-
-        Every client still trains from the round-start weights (its
-        simulated download), but updates merge into a *server state dict*
-        one event at a time in simulated-arrival order, streamed through
-        the scheduler: an update merges as soon as (a) its training has
-        actually landed and (b) every simulated-earlier event has merged.
-        The schedule bounds staleness by coalescing the round's tail (see
-        :func:`repro.core.aggregator.async_merge_schedule`); within an
-        event, members average in client order so the single-event
-        ``max_staleness=0`` schedule is bit-identical to sync FedAvg.
-        """
-        cfg = self.config
-        num_atoms = len(self.global_model.atoms)
-        global_snap = snapshot_segment(self.global_model, 0, num_atoms)
-        costs = [self._cost(dev) for dev in states]
-        # Simulated-arrival order: device latency decides who lands first;
-        # ties break by position so the order is total and reproducible.
-        order = sorted(range(len(clients)), key=lambda i: (costs[i].total_s, i))
-        events = [
-            sorted(order[pos] for pos in event)
-            for event in async_merge_schedule(len(clients), cfg.max_staleness)
-        ]
-        weights = [float(c.num_samples) for c in clients]
-        round_weight = float(sum(weights))
-        server = {k: v.copy() for k, v in global_snap.items()}
-
-        group = self.scheduler.submit_group(
-            "train",
-            self._train_client_fn(round_idx, global_snap),
-            list(zip(clients, states)),
+    # -- asynchronous aggregation hooks ------------------------------------
+    def async_client_fn(self, round_idx: int, base_state) -> Callable:
+        return self._train_client_fn(
+            round_idx, base_state, slot_model=self._async_slot_model
         )
-        landed = [False] * len(clients)
-        local_states: List[Optional[dict]] = [None] * len(clients)
-        next_event = 0
-        for idx, state in group.stream():
-            local_states[idx] = state
-            landed[idx] = True
-            while next_event < len(events) and all(
-                landed[i] for i in events[next_event]
-            ):
-                members = events[next_event]
-                alpha = merge_async_update(
-                    server,
-                    [local_states[i] for i in members],
-                    [weights[i] for i in members],
-                    round_weight,
-                    staleness=next_event,
-                )
-                self.async_log.append(
-                    AsyncMergeEvent(
-                        round=round_idx,
-                        event=next_event,
-                        staleness=next_event,
-                        client_ids=tuple(clients[i].cid for i in members),
-                        alpha=alpha,
-                    )
-                )
-                next_event += 1
-        assert next_event == len(events), "async merge schedule did not drain"
-        self.global_model.load_state_dict(server)
-        return costs
+
+    def async_client_costs(self, round_idx, clients, states):
+        return [self._cost(dev) for dev in states]
 
     def _cost(self, state: Optional[DeviceState]) -> LocalTrainingCost:
         if state is None:

@@ -4,6 +4,14 @@ Each client trains a width-sliced sub-model sized to its available memory
 (drop percentage ``1 − R_k/R_max``, paper App. B.2), adversarially, and the
 server partial-averages the slices back into the global model.  Concrete
 baselines differ only in the channel-selection strategy.
+
+Asynchronous aggregation (``aggregation_mode="async"``): each merge
+event masked-partial-averages its members' scattered slices against the
+current server state and blends the result in with the FedAsync
+``(event weight / round weight) / (1 + staleness)`` rate — entries no
+event member trained keep their server values, exactly as in the
+synchronous rule, and a single staleness-0 event reproduces it bit for
+bit.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ import numpy as np
 
 from repro.attacks.pgd import PGDConfig
 from repro.baselines.subnet import extract_submodel, scatter_submodel_state
+from repro.core.aggregator import blend_into, restore_segment
 from repro.flsim.aggregation import masked_partial_average
 from repro.flsim.base import FederatedExperiment, FLClient, FLConfig
 from repro.flsim.local import adversarial_local_train
@@ -29,6 +38,7 @@ class PartialTrainingFAT(FederatedExperiment):
 
     strategy = "static"
     min_ratio = 0.125
+    supports_async_aggregation = True
 
     def __init__(
         self,
@@ -54,6 +64,7 @@ class PartialTrainingFAT(FederatedExperiment):
         clients: List[FLClient],
         states: List[Optional[DeviceState]],
     ) -> List[LocalTrainingCost]:
+        self._assert_sync_round()
         cfg = self.config
         global_state = self.global_model.state_dict()
         pgd = PGDConfig(eps=cfg.eps0, steps=cfg.train_pgd_steps, norm="linf")
@@ -65,9 +76,7 @@ class PartialTrainingFAT(FederatedExperiment):
         def train_client(item, _slot):
             client, dev = item
             ratio = self.client_ratio(dev)
-            rng = np.random.default_rng(
-                cfg.seed * 1_000_003 + round_idx * 1009 + client.cid
-            )
+            rng = self._client_rng(round_idx, client.cid)
             piece = extract_submodel(
                 self.global_model, ratio, self.strategy, round_idx=round_idx, rng=rng
             )
@@ -95,6 +104,72 @@ class PartialTrainingFAT(FederatedExperiment):
             masked_partial_average(global_state, updates)
         )
         return costs
+
+    # -- asynchronous aggregation hooks ------------------------------------
+    def async_client_fn(self, round_idx: int, base_state) -> Callable:
+        cfg = self.config
+        pgd = PGDConfig(eps=cfg.eps0, steps=cfg.train_pgd_steps, norm="linf")
+        lr_t = self.lr_at(round_idx)
+        num_atoms = len(self.global_model.atoms)
+
+        def train_client(item, slot):
+            client, dev = item
+            model = self._async_slot_model(slot)
+            restore_segment(model, base_state, 0, num_atoms)
+            rng = self._client_rng(round_idx, client.cid)
+            piece = extract_submodel(
+                model, self.client_ratio(dev), self.strategy,
+                round_idx=round_idx, rng=rng,
+            )
+            adversarial_local_train(
+                piece.model,
+                client.dataset,
+                iterations=cfg.local_iters,
+                batch_size=cfg.batch_size,
+                lr=lr_t,
+                pgd=pgd,
+                momentum=cfg.momentum,
+                weight_decay=cfg.weight_decay,
+                rng=rng,
+            )
+            scattered, mask = scatter_submodel_state(
+                piece.model.state_dict(), piece.index_map, base_state
+            )
+            return (scattered, mask, float(client.num_samples))
+
+        return train_client
+
+    def async_client_costs(self, round_idx, clients, states):
+        """Pre-training latency: slice each client's architecture and cost it.
+
+        The extraction here is structural — the sliced weights are
+        discarded; only shapes feed the FLOP/memory model — and consumes
+        the same counter-derived RNG draws the work unit will make, so
+        the sliced channels (and therefore the costs) match the training
+        exactly on every backend.
+        """
+        costs = []
+        for client, dev in zip(clients, states):
+            rng = self._client_rng(round_idx, client.cid)
+            piece = extract_submodel(
+                self.global_model, self.client_ratio(dev), self.strategy,
+                round_idx=round_idx, rng=rng,
+            )
+            costs.append(self._cost(dev, piece.model))
+        return costs
+
+    def async_merge_event(self, server, ctx, members, updates, staleness) -> float:
+        """Masked partial average of the event, FedAsync-attenuated.
+
+        ``updates`` are ``(scattered_state, mask, weight)`` triples with
+        global shapes; the event's masked average against the current
+        server keeps untrained entries at their server values, then
+        blends in at ``(event weight / round weight) / (1 + staleness)``.
+        """
+        event_weight = float(sum(ctx.weights[i] for i in members))
+        alpha = (event_weight / ctx.round_weight) / (1.0 + staleness)
+        merged = masked_partial_average(server, updates)
+        return blend_into(server, merged, alpha)
 
     def _cost(self, state: Optional[DeviceState], submodel: CascadeModel) -> LocalTrainingCost:
         if state is None:

@@ -82,6 +82,7 @@ def _cmd_devices(args: argparse.Namespace) -> int:
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.baselines import (
         FedDropAT,
+        FedRBN,
         FedRolexAT,
         HeteroFLAT,
         JointFAT,
@@ -91,14 +92,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.flsim import FLConfig
     from repro.hardware import DeviceSampler, device_pool
     from repro.models import build_vgg
+    from repro.nn.normalization import DualBatchNorm2d
 
     shape = (3, args.image_size, args.image_size)
     task = make_cifar10_like(
         image_size=args.image_size, train_per_class=args.train_per_class,
         test_per_class=max(10, args.train_per_class // 5), seed=args.seed,
     )
+    # FedRBN propagates robustness through dual batch-norm statistics, so
+    # its backbone swaps every BN layer for DualBatchNorm2d.
+    bn_cls = DualBatchNorm2d if args.method == "fedrbn" else None
     builder = lambda rng: build_vgg(
-        "vgg11", 10, shape, width_mult=args.width_mult, rng=rng
+        "vgg11", 10, shape, width_mult=args.width_mult, rng=rng,
+        **({"bn_cls": bn_cls} if bn_cls is not None else {}),
     )
     sampler = DeviceSampler(device_pool("cifar10"), args.heterogeneity)
     # --overlap-eval pipelines *periodic* evaluation, so it implies one
@@ -115,6 +121,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         executor_backend=args.executor, round_parallelism=args.round_parallelism,
         eval_parallelism=args.eval_parallelism,
         aggregation_mode=args.aggregation_mode, max_staleness=args.max_staleness,
+        pipeline_depth=args.pipeline_depth,
         overlap_eval=args.overlap_eval, split_autoattack=args.split_autoattack,
     )
     if args.method == "fedprophet":
@@ -129,6 +136,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         cls = {
             "jfat": JointFAT, "heterofl": HeteroFLAT,
             "feddrop": FedDropAT, "fedrolex": FedRolexAT,
+            "fedrbn": FedRBN,
         }[args.method]
         exp = cls(task, builder, FLConfig(rounds=args.rounds, **common),
                   device_sampler=sampler)
@@ -171,7 +179,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("train", help="run a federated experiment")
     p.add_argument("--method", default="fedprophet",
-                   choices=["fedprophet", "jfat", "heterofl", "feddrop", "fedrolex"])
+                   choices=["fedprophet", "jfat", "heterofl", "feddrop",
+                            "fedrolex", "fedrbn"])
     p.add_argument("--heterogeneity", default="balanced", choices=["balanced", "unbalanced"])
     p.add_argument("--rounds", type=int, default=40)
     p.add_argument("--clients", type=int, default=20)
@@ -195,12 +204,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker cap for the sharded evaluation engine "
                         "(default: follow --round-parallelism)")
     p.add_argument("--aggregation-mode", default="sync", choices=["sync", "async"],
-                   help="sync: round-barrier FedAvg (bit-identical reference); "
-                        "async: staleness-bounded merge in simulated-arrival "
-                        "order (jfat only)")
+                   help="sync: round-barrier aggregation (bit-identical "
+                        "reference); async: staleness-bounded merge in "
+                        "simulated-arrival order (every method except the "
+                        "distillation baselines)")
     p.add_argument("--max-staleness", type=int, default=4,
-                   help="merge-event staleness bound for --aggregation-mode "
-                        "async")
+                   help="intra-round merge-event staleness bound for "
+                        "--aggregation-mode async")
+    p.add_argument("--pipeline-depth", type=int, default=1,
+                   help="async mode: rounds allowed in flight at once; >1 "
+                        "dispatches the next round's fast clients against "
+                        "the latest merged server state while stragglers "
+                        "finish (deterministic; 1 = classic round-drain)")
     p.add_argument("--eval-every", type=int, default=None,
                    help="evaluate every K rounds during training (default: 0 "
                         "= final eval only; --overlap-eval implies rounds/4)")

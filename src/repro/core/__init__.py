@@ -20,6 +20,8 @@ from repro.core.aggregator import (
     aggregate_modules,
     aggregate_heads,
     async_merge_schedule,
+    blend_into,
+    merge_async_partial,
     merge_async_update,
     publish_snapshot,
     PublishedWeights,
@@ -45,6 +47,8 @@ __all__ = [
     "aggregate_modules",
     "aggregate_heads",
     "async_merge_schedule",
+    "blend_into",
+    "merge_async_partial",
     "merge_async_update",
     "publish_snapshot",
     "PublishedWeights",

@@ -9,13 +9,22 @@ The module also owns the server-side weight-publication and asynchronous
 merge primitives of the unified task scheduler:
 
 * :func:`publish_snapshot` — double-buffered global weights: an immutable
-  (read-only arrays) copy of the model state that concurrent evaluation
-  shards read while the live model trains the next round;
-* :func:`async_merge_schedule` / :func:`merge_async_update` —
-  staleness-bounded asynchronous aggregation: client updates merge into a
-  server state dict in (simulated) arrival order, each merge event
-  attenuated by its staleness, with the bound enforced by coalescing the
-  tail of a round into the last permitted event.
+  (read-only arrays), versioned copy of a model state — or of an async
+  server state dict — that concurrent evaluation shards read while the
+  live model trains the next round;
+* :func:`async_merge_schedule` / :func:`merge_async_update` /
+  :func:`merge_async_partial` — staleness-bounded asynchronous
+  aggregation: client updates merge into a server state dict in
+  (simulated) arrival order, each merge event attenuated by its
+  staleness, with the intra-round bound enforced by coalescing the tail
+  of a round into the last permitted event.  ``merge_async_partial`` is
+  the FedProphet flavour: Eq. 16/17 partial averages applied per module
+  span (and per head) with the same ``1/(1+s)`` attenuation.
+
+Determinism contract: every function here is a pure (or in-place but
+order-fixed) computation over its arguments — no wall-clock, RNG, or
+scheduling input — so merge replays driven by *simulated* arrival order
+produce bit-identical server states on any backend at any worker count.
 """
 
 from __future__ import annotations
@@ -35,7 +44,11 @@ StateDict = Dict[str, np.ndarray]
 
 
 def atom_param_names(model: CascadeModel, start: int, stop: int) -> List[str]:
-    """State-dict keys (params + buffers) of atoms [start, stop)."""
+    """State-dict keys (params + buffers) of atoms [start, stop).
+
+    Deterministic key order (atom index, then declaration order), which
+    fixes the reduction order of every average built from these lists.
+    """
     names: List[str] = []
     for i in range(start, stop):
         prefix = f"atom{i}."
@@ -101,6 +114,8 @@ def aggregate_modules(
     ``client_states`` hold each client's trained-segment state (atoms of
     modules ``current_module..M_k``).  Returns the updated global state for
     every touched key; untouched keys are absent (keep previous values).
+    Pure function of its arguments; trainers reduce in client-list order,
+    so the merged floats are identical on every backend.
     """
     if not (len(client_states) == len(client_assignments) == len(client_weights)):
         raise ValueError("client lists must have equal length")
@@ -132,7 +147,11 @@ def aggregate_heads(
     client_assignments: Sequence[int],
     client_weights: Sequence[float],
 ) -> None:
-    """Eq. 17: average head n over clients with M_k = n, in place."""
+    """Eq. 17: average head n over clients with M_k = n, in place.
+
+    Trainers reduce in client-list order (same determinism contract as
+    :func:`aggregate_modules`).
+    """
     for n, head in enumerate(heads):
         if head is None:
             continue
@@ -163,18 +182,34 @@ class PublishedWeights:
     model already trains round *r+1* — the double-buffer that makes
     eval/training overlap race-free.  Loading it into a replica is
     bit-identical to loading the live state dict at publication time.
+    ``version`` identifies *which* weights were published: the round index
+    for synchronous overlap, or the server merge-event count for the
+    cross-round async pipeline (every merge bumps the server version, so
+    two snapshots with equal versions hold bit-identical state).
     """
 
     version: int
     state: Mapping[str, np.ndarray]
 
 
-def publish_snapshot(model: Module, version: int = 0) -> PublishedWeights:
-    """Publish the model's current weights as an immutable snapshot."""
+def publish_snapshot(source, version: int = 0) -> PublishedWeights:
+    """Publish weights as an immutable, versioned snapshot.
+
+    ``source`` is either a :class:`~repro.nn.module.Module` (its
+    ``state_dict()`` is taken, which already copies) or a plain state
+    dict — e.g. the async pipeline's live server state, which keeps
+    mutating under later merge events and is therefore copied here.
+    Deterministic: the snapshot is a pure copy of the source at call
+    time; nothing about scheduling or backends can leak into it.
+    """
     state: StateDict = {}
-    for key, value in model.state_dict().items():  # state_dict already copies
-        value.flags.writeable = False
-        state[key] = value
+    is_module = hasattr(source, "state_dict")
+    items = source.state_dict() if is_module else source
+    for key, value in dict(items).items():
+        # state_dict() already copies; a raw mapping must be copied here.
+        copy = value if is_module else np.array(value, copy=True)
+        copy.flags.writeable = False
+        state[key] = copy
     return PublishedWeights(version=version, state=MappingProxyType(state))
 
 
@@ -187,13 +222,15 @@ def async_merge_schedule(num_updates: int, max_staleness: int) -> List[List[int]
     """Group arrival positions into merge events respecting the bound.
 
     The server merges client updates one event at a time in arrival
-    order; an update merged by event *k* has staleness *k* (the number of
-    merge events applied to the server since the update's round-start
-    base).  The schedule keeps early arrivals as singleton events and
-    coalesces the tail of the round into the last event the bound allows,
-    so every update's staleness is ≤ ``max_staleness``.  With
-    ``max_staleness=0`` the whole round coalesces into one event —
-    synchronous FedAvg.
+    order; an update merged by event *k* has intra-round staleness *k*
+    (the number of this round's merge events applied to the server since
+    the update's round-start base).  The schedule keeps early arrivals as
+    singleton events and coalesces the tail of the round into the last
+    event the bound allows, so every update's intra-round staleness is ≤
+    ``max_staleness``.  With ``max_staleness=0`` the whole round
+    coalesces into one event — synchronous FedAvg.  Pure function of its
+    two integers; the caller maps positions to clients via the simulated
+    arrival order, keeping the whole schedule backend-independent.
     """
     if num_updates < 0:
         raise ValueError("num_updates must be >= 0")
@@ -207,12 +244,32 @@ def async_merge_schedule(num_updates: int, max_staleness: int) -> List[List[int]
     return events
 
 
+def blend_into(server: StateDict, merged: StateDict, alpha: float) -> float:
+    """Mix ``merged`` into ``server`` in place with rate ``alpha``.
+
+    ``alpha >= 1`` replaces the touched keys outright (the exact-sync
+    degenerate case); otherwise ``server <- server + alpha * (merged -
+    server)``.  Only keys present in ``merged`` are touched.  In-place
+    but order-fixed: replaying the same blend sequence reproduces the
+    same server state bit for bit.  Returns the applied rate (clamped to
+    1.0 on the replace path).
+    """
+    if alpha >= 1.0:
+        for key, value in merged.items():
+            server[key] = value
+        return 1.0
+    for key, value in merged.items():
+        server[key] = server[key] + alpha * (value - server[key])
+    return alpha
+
+
 def merge_async_update(
     server: StateDict,
     states: Sequence[StateDict],
     weights: Sequence[float],
     round_weight: float,
     staleness: int,
+    keys: Optional[Sequence[str]] = None,
 ) -> float:
     """Merge one event's client updates into ``server`` in place (FedAsync).
 
@@ -222,16 +279,89 @@ def merge_async_update(
     et al., 2019).  ``alpha == 1`` (a single event carrying the whole
     round at staleness 0) replaces the server state outright, making the
     ``max_staleness=0`` schedule bit-identical to synchronous FedAvg.
-    Returns the applied mixing rate.
+    ``keys`` restricts the merge to a subset of state-dict keys (FedRBN
+    merges its dual-BN statistics under a separate rule).  Returns the
+    applied mixing rate.  Pure function of its arguments, so a replay in
+    simulated-arrival order is backend- and worker-count-independent.
     """
     if round_weight <= 0:
         raise ValueError("round_weight must be positive")
-    merged = weighted_average_states(states, weights)
+    merged = weighted_average_states(states, weights, keys=keys)
     alpha = (float(sum(weights)) / round_weight) / (1.0 + staleness)
-    if alpha >= 1.0:
-        for key, value in merged.items():
-            server[key] = value
-        return 1.0
-    for key, value in merged.items():
-        server[key] = server[key] + alpha * (value - server[key])
-    return alpha
+    return blend_into(server, merged, alpha)
+
+
+def merge_async_partial(
+    model: CascadeModel,
+    partition: Partition,
+    current_module: int,
+    server_seg: StateDict,
+    server_heads: Sequence[Optional[StateDict]],
+    member_states: Sequence[StateDict],
+    member_head_states: Sequence[Optional[StateDict]],
+    member_assignments: Sequence[int],
+    member_weights: Sequence[float],
+    module_round_weights: Sequence[float],
+    head_round_weights: Sequence[float],
+    staleness: int,
+) -> float:
+    """One async merge event of FedProphet's partial average (Eq. 16/17).
+
+    Each module span ``n >= current_module`` averages over the event
+    members that trained it (``M_k >= n``, Eq. 16) and blends into
+    ``server_seg`` with its own per-module rate ``alpha_n = (event
+    trainer weight of module n / round trainer weight of module n) /
+    (1 + staleness)``; head ``n`` does the same over members with
+    ``M_k == n`` (Eq. 17) into ``server_heads[n]`` in place.  Modules and
+    heads no event member trained are untouched.  With a single event
+    carrying the whole round at staleness 0 every applied rate is exactly
+    1, reproducing the synchronous :func:`aggregate_modules` /
+    :func:`aggregate_heads` result bit for bit.  Deterministic: a pure
+    in-place replay over simulated-arrival events — no backend or worker
+    count can change the result.  Returns the largest applied rate (0.0
+    when the event touched nothing).
+    """
+    if not (
+        len(member_states)
+        == len(member_head_states)
+        == len(member_assignments)
+        == len(member_weights)
+    ):
+        raise ValueError("member lists must have equal length")
+    applied = [0.0]
+    num_modules = len(partition)
+    for n in range(current_module, num_modules):
+        trainers = [
+            (state, w)
+            for state, mk, w in zip(member_states, member_assignments, member_weights)
+            if mk >= n
+        ]
+        if not trainers or module_round_weights[n] <= 0:
+            continue
+        start, stop = partition[n]
+        keys = atom_param_names(model, start, stop)
+        merged = weighted_average_states(
+            [state for state, _ in trainers], [w for _, w in trainers], keys=keys
+        )
+        event_weight = float(sum(w for _, w in trainers))
+        alpha = (event_weight / module_round_weights[n]) / (1.0 + staleness)
+        applied.append(blend_into(server_seg, merged, alpha))
+    for n, head_state in enumerate(server_heads):
+        if head_state is None or head_round_weights[n] <= 0:
+            continue
+        trainers = [
+            (state, w)
+            for state, mk, w in zip(
+                member_head_states, member_assignments, member_weights
+            )
+            if mk == n and state is not None
+        ]
+        if not trainers:
+            continue
+        merged = weighted_average_states(
+            [state for state, _ in trainers], [w for _, w in trainers]
+        )
+        event_weight = float(sum(w for _, w in trainers))
+        alpha = (event_weight / head_round_weights[n]) / (1.0 + staleness)
+        applied.append(blend_into(head_state, merged, alpha))
+    return max(applied)

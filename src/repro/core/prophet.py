@@ -23,6 +23,8 @@ from repro.attacks import ModelWithLoss
 from repro.core.aggregator import (
     aggregate_heads,
     aggregate_modules,
+    async_merge_schedule,
+    merge_async_partial,
     restore_segment,
     snapshot_segment,
 )
@@ -36,7 +38,7 @@ from repro.core.config import FedProphetConfig
 from repro.core.dma import SegmentCostTable, assign_modules
 from repro.core.partitioner import full_model_mem_bytes, partition_model
 from repro.core.prefix_cache import PrefixCache
-from repro.flsim.base import FederatedExperiment, FLClient, RoundRecord
+from repro.flsim.base import AsyncMergeEvent, FederatedExperiment, FLClient, RoundRecord
 from repro.flsim.eval_executor import EvalTarget
 from repro.hardware.devices import DeviceSampler, DeviceState
 from repro.hardware.flops import BACKWARD_MULTIPLIER
@@ -78,6 +80,13 @@ class FedProphet(FederatedExperiment):
     # early-stop each round, so evaluation sits on the algorithm's
     # critical path and cannot be overlapped with the next round.
     supports_overlap_eval = False
+    # Asynchronous aggregation is *within-round*: client updates merge
+    # per module span (Eq. 16 partial averages, staleness-attenuated) in
+    # simulated-arrival order as they land.  Rounds themselves cannot
+    # overlap — cascade_eval gates every boundary — so the cross-round
+    # pipeline (pipeline_depth > 1) is rejected at construction.
+    supports_async_aggregation = True
+    supports_cross_round_pipeline = False
 
     def __init__(
         self,
@@ -273,31 +282,28 @@ class FedProphet(FederatedExperiment):
             self._replica_synced[slot] = self._prefix_version
 
     # -- one communication round -----------------------------------------------
-    def run_round(
+    def _stage_train_fn(
         self,
         round_idx: int,
-        clients: List[FLClient],
-        states: List[Optional[DeviceState]],
-    ) -> List[LocalTrainingCost]:
-        m = self.current_module
+        m: int,
+        seg_snapshot,
+        head_states,
+        forked: bool,
+        export_cache: bool,
+    ) -> Callable:
+        """The slot-aware cascade work unit shared by sync and async rounds.
+
+        A pure function of (round snapshot, head states, the client's
+        shard and module span, a counter-derived RNG): restores the
+        trainable suffix onto the slot workspace, runs adversarial
+        cascade training on the assigned span, and returns the trained
+        segment + head states (plus prefix-cache exports on forked
+        backends).  Bit-identical on every backend and worker count.
+        """
         cfg = self.config
-        self._enter_stage(m)
-        assignments = assign_modules(self.cost_table, m, states, enabled=cfg.use_dma)
         start_atom = self.partition[m][0]
         num_atoms = len(self.global_model.atoms)
-
-        # Segment-scoped round snapshot: only atoms of modules >= m and the
-        # heads can be trained, so the frozen prefix is never copied and
-        # each work unit restores just the trainable suffix.
-        seg_snapshot = snapshot_segment(self.global_model, start_atom, num_atoms)
-        head_states = [h.state_dict() if h is not None else None for h in self.heads]
         lr_t = self.lr_at(round_idx)
-        # Forked workers fill private copies of the activation cache; ship
-        # their entries (and hit/miss counter deltas) back so next round's
-        # forks inherit a warm cache and stats() covers child-side lookups.
-        forked = self.executor.forks_for(len(clients)) and self.prefix_cache is not None
-        export_cache = forked and start_atom > 0
-        self._sync_workspaces(len(clients))
 
         def train_client(item, slot):
             client, dev_state, mk = item
@@ -313,9 +319,7 @@ class FedProphet(FederatedExperiment):
             spec = CascadeBatchSpec(
                 start_atom=start_atom, stop_atom=stop_atom, head=head
             )
-            client_rng = np.random.default_rng(
-                cfg.seed * 1_000_003 + round_idx * 1009 + client.cid
-            )
+            client_rng = self._client_rng(round_idx, client.cid)
             cascade_local_train(
                 model,
                 spec,
@@ -347,6 +351,41 @@ class FedProphet(FederatedExperiment):
             cost = self._client_cost(dev_state, m, mk)
             return seg_state, head_state, cost, cache_key, cache_entry, counters
 
+        return train_client
+
+    def run_round(
+        self,
+        round_idx: int,
+        clients: List[FLClient],
+        states: List[Optional[DeviceState]],
+    ) -> List[LocalTrainingCost]:
+        m = self.current_module
+        cfg = self.config
+        self._enter_stage(m)
+        assignments = assign_modules(self.cost_table, m, states, enabled=cfg.use_dma)
+        start_atom = self.partition[m][0]
+        num_atoms = len(self.global_model.atoms)
+
+        # Segment-scoped round snapshot: only atoms of modules >= m and the
+        # heads can be trained, so the frozen prefix is never copied and
+        # each work unit restores just the trainable suffix.
+        seg_snapshot = snapshot_segment(self.global_model, start_atom, num_atoms)
+        head_states = [h.state_dict() if h is not None else None for h in self.heads]
+        # Forked workers fill private copies of the activation cache; ship
+        # their entries (and hit/miss counter deltas) back so next round's
+        # forks inherit a warm cache and stats() covers child-side lookups.
+        forked = self.executor.forks_for(len(clients)) and self.prefix_cache is not None
+        export_cache = forked and start_atom > 0
+        self._sync_workspaces(len(clients))
+        train_client = self._stage_train_fn(
+            round_idx, m, seg_snapshot, head_states, forked, export_cache
+        )
+        if cfg.aggregation_mode == "async":
+            return self._run_round_async(
+                round_idx, clients, states, assignments, seg_snapshot,
+                head_states, train_client,
+            )
+
         results = self.scheduler.run_group(
             "train", train_client, list(zip(clients, states, assignments))
         )
@@ -371,6 +410,116 @@ class FedProphet(FederatedExperiment):
         if merged:
             self.global_model.load_state_dict(merged, strict=False)
         aggregate_heads(self.heads, client_head_states, assignments, weights)
+        return costs
+
+    def _run_round_async(
+        self,
+        round_idx: int,
+        clients: List[FLClient],
+        states: List[Optional[DeviceState]],
+        assignments: List[int],
+        seg_snapshot,
+        head_states,
+        train_client: Callable,
+    ) -> List[LocalTrainingCost]:
+        """Within-round asynchronous partial averaging (per-module merges).
+
+        Clients still train from the round-start weights, but their
+        updates merge into a *server* copy of the trainable segment (and
+        head states) one event at a time, in simulated-arrival order,
+        streamed through the scheduler: each event partial-averages
+        per module span (Eq. 16) and per head (Eq. 17) over its members
+        and blends in with the per-module ``1/(1+s)`` attenuation
+        (:func:`repro.core.aggregator.merge_async_partial`).  The merge
+        schedule bounds staleness exactly as in the generic engine;
+        ``max_staleness=0`` coalesces the round into one event whose
+        rates are all exactly 1 — bit-identical to the synchronous
+        Eq. 16/17 aggregation.  Deterministic at any backend and worker
+        count (arrival order is the latency model's, never wall clock).
+        """
+        cfg = self.config
+        m = self.current_module
+        start_atom = self.partition[m][0]
+        num_atoms = len(self.global_model.atoms)
+        num_modules = len(self.partition)
+
+        costs = [
+            self._client_cost(dev, m, mk) for dev, mk in zip(states, assignments)
+        ]
+        weights = [client.num_samples / self.total_samples for client in clients]
+        # Denominators of the per-module (and per-head) mixing rates: the
+        # whole round's trainer weight for each span, known before training.
+        module_weights = [
+            float(sum(w for w, mk in zip(weights, assignments) if mk >= n))
+            for n in range(num_modules)
+        ]
+        head_weights = [
+            float(sum(w for w, mk in zip(weights, assignments) if mk == n))
+            for n in range(num_modules)
+        ]
+        order = sorted(range(len(clients)), key=lambda i: (costs[i].total_s, i))
+        events = [
+            sorted(order[pos] for pos in event)
+            for event in async_merge_schedule(len(clients), cfg.max_staleness)
+        ]
+        server_seg = {k: v.copy() for k, v in seg_snapshot.items()}
+        server_heads = [
+            {k: v.copy() for k, v in hs.items()} if hs is not None else None
+            for hs in head_states
+        ]
+
+        group = self.scheduler.submit_group(
+            "train", train_client, list(zip(clients, states, assignments))
+        )
+        landed = [False] * len(clients)
+        results: List[Optional[tuple]] = [None] * len(clients)
+        next_event = 0
+        for idx, result in group.stream():
+            results[idx] = result
+            landed[idx] = True
+            while next_event < len(events) and all(
+                landed[i] for i in events[next_event]
+            ):
+                members = events[next_event]
+                alpha = merge_async_partial(
+                    self.global_model,
+                    self.partition,
+                    m,
+                    server_seg,
+                    server_heads,
+                    [results[i][0] for i in members],
+                    [results[i][1] for i in members],
+                    [assignments[i] for i in members],
+                    [weights[i] for i in members],
+                    module_weights,
+                    head_weights,
+                    staleness=next_event,
+                )
+                self.async_log.append(
+                    AsyncMergeEvent(
+                        round=round_idx,
+                        event=next_event,
+                        staleness=next_event,
+                        client_ids=tuple(clients[i].cid for i in members),
+                        alpha=alpha,
+                        base_version=0,
+                        sim_time_s=self.clock_s
+                        + max(costs[i].total_s for i in members),
+                    )
+                )
+                next_event += 1
+        assert next_event == len(events), "async merge schedule did not drain"
+        for _, _, _, cache_key, cache_entry, counters in results:
+            if cache_entry is not None:
+                self.prefix_cache.adopt_entry(cache_key, *cache_entry)
+            if counters is not None:
+                self.prefix_cache.adopt_counters(*counters)
+        # Install the merged server segment and heads (untrained spans kept
+        # their round-start values inside the server copies).
+        restore_segment(self.global_model, server_seg, start_atom, num_atoms)
+        for head, state in zip(self.heads, server_heads):
+            if head is not None and state is not None:
+                head.load_state_dict(state)
         return costs
 
     def _client_cost(

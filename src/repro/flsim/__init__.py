@@ -7,10 +7,23 @@ by the :mod:`repro.hardware` latency model, which is what the training-time
 figures (Fig. 7, Table 4) measure.
 """
 
-from repro.flsim.base import FLConfig, FLClient, RoundRecord, FederatedExperiment
+from repro.flsim.base import (
+    AsyncMergeEvent,
+    AsyncRoundContext,
+    FLConfig,
+    FLClient,
+    RoundRecord,
+    FederatedExperiment,
+)
 from repro.flsim.aggregation import fedavg, weighted_average_states, masked_partial_average
 from repro.flsim.executor import BACKENDS, RoundExecutor
-from repro.flsim.scheduler import FLScheduler, TaskGroup
+from repro.flsim.scheduler import (
+    AsyncRoundTicket,
+    CrossRoundPipeline,
+    FLScheduler,
+    SlotPool,
+    TaskGroup,
+)
 from repro.flsim.eval_executor import EvalExecutor, EvalShard, EvalTarget, PendingEval
 from repro.flsim.local import adversarial_local_train, standard_local_train
 from repro.flsim.history import history_rows, export_csv, time_to_accuracy, best_round
@@ -20,6 +33,11 @@ __all__ = [
     "RoundExecutor",
     "FLScheduler",
     "TaskGroup",
+    "SlotPool",
+    "AsyncRoundTicket",
+    "CrossRoundPipeline",
+    "AsyncMergeEvent",
+    "AsyncRoundContext",
     "EvalExecutor",
     "EvalShard",
     "EvalTarget",

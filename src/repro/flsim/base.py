@@ -9,9 +9,10 @@ periodic evaluation.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,12 +52,27 @@ class FLConfig:
     ``aggregation_mode`` selects how client updates reach the server:
     ``"sync"`` (default) is the classic round barrier — bit-identical to
     the pre-scheduler engine on every backend and worker count;
-    ``"async"`` (opt-in, experiments that declare
-    ``supports_async_aggregation``) merges updates as they land, in
-    simulated-arrival order, with FedAsync staleness attenuation bounded
-    by ``max_staleness`` merge events — deterministic and
-    seed-reproducible at any worker count because arrival order derives
-    from the simulated latency model, never from wall-clock scheduling.
+    ``"async"`` (experiments that declare ``supports_async_aggregation``
+    — jFAT, FedRBN, the partial-training family, and FedProphet) merges
+    updates as they land, in simulated-arrival order, with FedAsync
+    staleness attenuation bounded by ``max_staleness`` merge events —
+    deterministic and seed-reproducible at any worker count because
+    arrival order derives from the simulated latency model, never from
+    wall-clock scheduling.
+
+    ``pipeline_depth`` (async mode only) lifts the round boundary itself:
+    with depth *D* up to *D* rounds are in flight at once — round *r+1*'s
+    fast clients dispatch against the latest merged server state while
+    round *r*'s stragglers are still training
+    (:class:`repro.flsim.scheduler.CrossRoundPipeline`).  Each round's
+    clients train from the server state at the round's *base version*
+    (the merge-event count at its simulated dispatch time), and merges
+    still replay in simulated-arrival order, so any depth is bit-identical
+    across backends and worker counts; ``pipeline_depth=1`` with
+    ``max_staleness=0`` reproduces synchronous FedAvg exactly.
+    FedProphet pins depth to 1: its per-round ``cascade_eval`` feeds APA
+    and early-stop, putting a hard evaluation point on every round
+    boundary (its async mode instead merges per-module within the round).
 
     ``overlap_eval`` (opt-in) pipelines periodic evaluation with the next
     round's training: the run loop publishes an immutable weight snapshot
@@ -94,6 +110,7 @@ class FLConfig:
     eval_parallelism: Optional[int] = None
     aggregation_mode: str = "sync"
     max_staleness: int = 4
+    pipeline_depth: int = 1
     overlap_eval: bool = False
     split_autoattack: bool = False
 
@@ -123,6 +140,13 @@ class FLConfig:
             )
         if self.max_staleness < 0:
             raise ValueError("max_staleness must be >= 0")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        if self.pipeline_depth > 1 and self.aggregation_mode != "async":
+            raise ValueError(
+                "pipeline_depth > 1 requires aggregation_mode='async' "
+                "(cross-round dispatch merges updates out of round order)"
+            )
 
 
 @dataclass
@@ -148,13 +172,62 @@ class RoundRecord:
     eval: Optional[EvalResult] = None
 
 
+@dataclass(frozen=True)
+class AsyncMergeEvent:
+    """One applied merge event of an asynchronous run (observability).
+
+    ``staleness`` is the total server lag the event merged at (merge
+    events applied since the round's base version — equal to ``event``,
+    the intra-round index, at ``pipeline_depth=1``); ``base_version`` is
+    the server version the event's clients trained from, and
+    ``sim_time_s`` the simulated time the merge applied.  Every field is
+    derived from the simulated latency model, so logs compare equal
+    across backends and worker counts.
+    """
+
+    round: int
+    event: int
+    staleness: int
+    client_ids: Tuple[int, ...]
+    alpha: float
+    base_version: int = 0
+    sim_time_s: float = 0.0
+
+
+@dataclass
+class AsyncRoundContext:
+    """Everything an async merge rule may need about one dispatched round.
+
+    Built *before* training from pure functions of the sampled clients
+    and device states (costs, weights, experiment extras like FedRBN's
+    AT-affordability flags), so the merge replay never depends on
+    training output beyond the updates themselves.
+    """
+
+    round_idx: int
+    clients: List[FLClient]
+    states: List[Optional[DeviceState]]
+    costs: List[LocalTrainingCost]
+    weights: List[float]
+    round_weight: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
 class FederatedExperiment(ABC):
     """Base class running the communication-round loop on a simulated clock."""
 
     name = "base"
     #: Whether this algorithm's aggregation rule has an asynchronous,
     #: staleness-bounded formulation (``aggregation_mode="async"``).
+    #: Experiments opt in by implementing the ``async_*`` hook surface
+    #: (jFAT, FedRBN, the partial-training family) or their own in-round
+    #: merge replay (FedProphet); distillation-based baselines whose
+    #: server step is inherently sequential opt out.
     supports_async_aggregation = False
+    #: Whether async mode may pipeline across round boundaries
+    #: (``pipeline_depth > 1``).  FedProphet turns this off: cascade_eval
+    #: gates every round, so rounds cannot overlap.
+    supports_cross_round_pipeline = True
     #: Whether periodic evaluation is purely observational (history only),
     #: and may therefore be overlapped with the next round's training.
     #: FedProphet turns this off: cascade_eval feeds APA and early-stop,
@@ -196,6 +269,12 @@ class FederatedExperiment(ABC):
                 f"aggregation_mode='async'; its aggregation rule has no "
                 f"staleness-bounded formulation"
             )
+        if config.pipeline_depth > 1 and not self.supports_cross_round_pipeline:
+            raise ValueError(
+                f"{type(self).__name__} does not support pipeline_depth > 1: "
+                f"its per-round evaluation gates the next round (e.g. "
+                f"cascade_eval feeding APA), so rounds cannot overlap"
+            )
         if config.overlap_eval and not self.supports_overlap_eval:
             raise ValueError(
                 f"{type(self).__name__} does not support overlap_eval: its "
@@ -214,8 +293,13 @@ class FederatedExperiment(ABC):
         )
         self._slot_models: dict = {}
         self._overlap_models: dict = {}
+        self._async_models: dict = {}
+        self._async_model_lock = threading.Lock()
         self._pending_eval: Optional[Tuple[RoundRecord, PendingEval]] = None
         self._published = None  # latest PublishedWeights (double buffer)
+        #: Applied merge events of every asynchronous round, in merge order.
+        self.async_log: List[AsyncMergeEvent] = []
+        self._last_pipeline_stats: Optional[Dict[str, int]] = None
 
     # -- executor workspaces -------------------------------------------------
     def _slot_model(self, slot: int) -> CascadeModel:
@@ -236,9 +320,57 @@ class FederatedExperiment(ABC):
             self._slot_models[slot] = model
         return model
 
+    def _async_slot_model(self, slot: int) -> CascadeModel:
+        """Model workspace for an async-pipeline work unit.
+
+        Deliberately disjoint from the training slot models (slot 0 there
+        *is* the live global model): with cross-round pipelining several
+        rounds' clients run concurrently, and the global model must stay
+        free for round-boundary evaluation of the merged server state.
+        Every slot — including 0 — is a private replica; work units
+        restore their full base snapshot before training, so a slot
+        carries no state between tasks and which slot a task gets cannot
+        affect results.  Creation is lock-guarded because concurrent
+        groups lease slots on worker threads.
+        """
+        with self._async_model_lock:
+            model = self._async_models.get(slot)
+            if model is None:
+                model = self.model_builder(np.random.default_rng(self.config.seed + 7))
+                self._async_models[slot] = model
+            return model
+
     # -- per-round helpers ---------------------------------------------------
+    def _assert_sync_round(self) -> None:
+        """Guard for synchronous ``run_round`` implementations.
+
+        Under ``aggregation_mode="async"`` rounds are dispatched by
+        :meth:`run` through the cross-round pipeline; calling a
+        barrier-style ``run_round`` directly would silently perform
+        synchronous aggregation with the async config ignored, so it
+        fails loudly instead.  (FedProphet's ``run_round`` handles async
+        itself and does not use this guard.)
+        """
+        if self.config.aggregation_mode == "async":
+            raise RuntimeError(
+                f"{type(self).__name__}.run_round is the synchronous path; "
+                f"aggregation_mode='async' rounds are driven by run() "
+                f"through the cross-round pipeline"
+            )
+
     def lr_at(self, round_idx: int) -> float:
         return self.config.lr * (self.config.lr_decay**round_idx)
+
+    def _client_rng(self, round_idx: int, cid: int) -> np.random.Generator:
+        """The counter-derived RNG for one client's local training.
+
+        A pure function of ``(seed, round, cid)`` — never of scheduling,
+        slot, or backend — which is the root of the engine-wide
+        bit-identity contract.  Every experiment's work units (sync and
+        async alike) must draw from this one formula; do not inline it.
+        """
+        cfg = self.config
+        return np.random.default_rng(cfg.seed * 1_000_003 + round_idx * 1009 + cid)
 
     def sample_round(
         self, round_idx: int
@@ -272,6 +404,239 @@ class FederatedExperiment(ABC):
         states: List[Optional[DeviceState]],
     ) -> List[LocalTrainingCost]:
         """Run one communication round; return per-client latency costs."""
+
+    # -- asynchronous aggregation hooks ----------------------------------------
+    # Experiments that set ``supports_async_aggregation`` and use the
+    # generic run loop implement this surface; the cross-round pipeline in
+    # :meth:`_run_async` drives it.  Every hook must be a pure function of
+    # its inputs (plus counter-derived RNGs) so the merge replay stays
+    # bit-identical across backends and worker counts.
+
+    def async_client_fn(
+        self, round_idx: int, base_state: Dict[str, np.ndarray]
+    ) -> Callable:
+        """The slot-aware work unit for one async round's clients.
+
+        ``base_state`` is a private copy of the server state at the
+        round's base version; the returned ``fn(item, slot)`` must
+        restore it into ``self._async_slot_model(slot)`` (never the live
+        global model — concurrent rounds share those workspaces), train,
+        and return the client's update.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares supports_async_aggregation but "
+            f"implements no async_client_fn"
+        )
+
+    def async_client_costs(
+        self,
+        round_idx: int,
+        clients: List[FLClient],
+        states: List[Optional[DeviceState]],
+    ) -> List[LocalTrainingCost]:
+        """Per-client simulated latency, computed *before* training.
+
+        Pure arithmetic over the device states: the pipeline needs the
+        costs up front to fix arrival order, merge schedule, and dispatch
+        times.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares supports_async_aggregation but "
+            f"implements no async_client_costs"
+        )
+
+    def async_client_weights(
+        self,
+        clients: List[FLClient],
+        states: List[Optional[DeviceState]],
+    ) -> List[float]:
+        """Aggregation weight per client (default: local data size)."""
+        return [float(client.num_samples) for client in clients]
+
+    def async_round_extra(
+        self,
+        round_idx: int,
+        clients: List[FLClient],
+        states: List[Optional[DeviceState]],
+    ) -> Dict[str, Any]:
+        """Experiment-specific pre-training context for the merge rule.
+
+        E.g. FedRBN precomputes which sampled clients can afford
+        adversarial training (a pure function of the device states) so
+        its dual-BN merge can weight adversarial statistics correctly.
+        """
+        return {}
+
+    def async_server_state(self) -> Dict[str, np.ndarray]:
+        """The initial async server state (a private full-state copy)."""
+        return {k: v.copy() for k, v in self.global_model.state_dict().items()}
+
+    def async_merge_event(
+        self,
+        server: Dict[str, np.ndarray],
+        ctx: AsyncRoundContext,
+        members: List[int],
+        updates: List[Any],
+        staleness: int,
+    ) -> float:
+        """Merge one event's updates into ``server`` in place.
+
+        Default: full-model FedAsync (weighted average of the event
+        members mixed in at ``(event weight / round weight) / (1 +
+        staleness)``), which is exact FedAvg for a single staleness-0
+        event.  Experiments with structured updates override (FedRBN's
+        dual-BN statistics, the partial-training masked average).
+        Returns the applied mixing rate for the merge log.
+        """
+        from repro.core.aggregator import merge_async_update  # local: core imports flsim
+
+        return merge_async_update(
+            server,
+            updates,
+            [ctx.weights[i] for i in members],
+            ctx.round_weight,
+            staleness,
+        )
+
+    def async_finalize(self, server: Dict[str, np.ndarray]) -> None:
+        """Install the fully merged server state into the global model."""
+        self.global_model.load_state_dict(server)
+
+    def _run_async(
+        self, rounds: int, verbose: bool = False
+    ) -> List[RoundRecord]:
+        """The cross-round asynchronous run loop (``aggregation_mode="async"``).
+
+        Drives a :class:`repro.flsim.scheduler.CrossRoundPipeline`: up to
+        ``pipeline_depth`` rounds in flight, merge events replayed in
+        simulated-arrival order into a server state dict, per-round base
+        versions snapshotting the server for each round's clients.
+        History records are created when a round's last event merges (at
+        its simulated drain time) and sorted by round index before
+        returning.  Bit-identical across backends at any worker count;
+        ``pipeline_depth=1`` with ``max_staleness=0`` reproduces the
+        synchronous loop exactly — records, evals, clock and all.
+        """
+        from repro.flsim.scheduler import CrossRoundPipeline
+
+        cfg = self.config
+        server = self.async_server_state()
+        history_start = len(self.history)
+        # Per-round bottleneck costs, recorded at dispatch (pure arithmetic)
+        # so completion order cannot scramble the cumulative accounting.
+        bottlenecks: Dict[int, Optional[LocalTrainingCost]] = {}
+        base_compute, base_access = self.total_compute_s, self.total_access_s
+
+        def cumulative_cost(last_round: int) -> Tuple[float, float]:
+            """Round-ordered cumulative compute/access through ``last_round``.
+
+            Rounds complete in drain order, but the history's cumulative
+            columns must accrue in *round* order (as the sync loop's
+            ``advance_clock`` does) — otherwise a fast round r+1 draining
+            before straggler round r would carry the wrong totals.
+            """
+            compute, access = base_compute, base_access
+            for r in range(last_round + 1):
+                cost = bottlenecks.get(r)
+                if cost is not None:
+                    compute += cost.compute_s
+                    access += cost.access_s
+            return compute, access
+
+        def merge_event(ticket, members, staleness):
+            ctx: AsyncRoundContext = ticket.meta
+            updates = [ticket.updates[i] for i in members]
+            alpha = self.async_merge_event(server, ctx, members, updates, staleness)
+            self.async_log.append(
+                AsyncMergeEvent(
+                    round=ticket.round_idx,
+                    event=ticket.next_event,
+                    staleness=staleness,
+                    client_ids=tuple(ctx.clients[i].cid for i in members),
+                    alpha=alpha,
+                    base_version=ticket.base_version,
+                    sim_time_s=ticket.event_times[ticket.next_event],
+                )
+            )
+
+        def round_complete(ticket):
+            t = ticket.round_idx
+            drain = ticket.drain_time
+            self.clock_s = max(self.clock_s, drain)
+            compute, access = cumulative_cost(t)
+            self.total_compute_s = max(self.total_compute_s, compute)
+            self.total_access_s = max(self.total_access_s, access)
+            record = RoundRecord(
+                round=t,
+                sim_time_s=drain,
+                compute_s=compute,
+                access_s=access,
+            )
+            if cfg.eval_every and (t + 1) % cfg.eval_every == 0:
+                if self.overlap_active:
+                    self._drain_overlapped_eval(verbose)
+                    # round_complete only runs from inside pipeline calls,
+                    # so the late-bound `pipeline` is always constructed.
+                    self._submit_overlapped_eval(
+                        record, state=server, version=pipeline.version
+                    )
+                else:
+                    self.global_model.load_state_dict(server)
+                    record.eval = self.evaluate()
+                    if verbose:  # pragma: no cover - console reporting
+                        self._print_eval(record)
+            self.history.append(record)
+
+        pipeline = CrossRoundPipeline(
+            self.scheduler,
+            max_staleness=cfg.max_staleness,
+            depth=cfg.pipeline_depth,
+            merge_event=merge_event,
+            round_complete=round_complete,
+        )
+
+        for t in range(rounds):
+            clients, states = self.sample_round(t)
+            costs = self.async_client_costs(t, clients, states)
+            weights = self.async_client_weights(clients, states)
+            ctx = AsyncRoundContext(
+                round_idx=t,
+                clients=clients,
+                states=states,
+                costs=costs,
+                weights=weights,
+                round_weight=float(sum(weights)),
+                extra=self.async_round_extra(t, clients, states),
+            )
+            bottlenecks[t] = (
+                max(costs, key=lambda c: c.total_s) if costs else None
+            )
+
+            def fn_factory(ticket, _t=t):
+                # Called after the pre-dispatch merge replay: the server
+                # now sits at this round's base version, so copy it as the
+                # round's immutable training base.
+                base = {k: v.copy() for k, v in server.items()}
+                return self.async_client_fn(_t, base)
+
+            pipeline.dispatch(
+                t,
+                list(zip(clients, states)),
+                [c.total_s for c in costs],
+                fn_factory,
+                meta=ctx,
+            )
+
+        pipeline.drain_all()
+        self._last_pipeline_stats = {
+            "peak_in_flight": pipeline.peak_in_flight,
+            "merge_events": pipeline.version,
+        }
+        self.async_finalize(server)
+        self._drain_overlapped_eval(verbose)
+        tail = sorted(self.history[history_start:], key=lambda r: r.round)
+        self.history[history_start:] = tail
+        return self.history
 
     # -- evaluation engine -----------------------------------------------------
     def eval_plan(
@@ -360,17 +725,30 @@ class FederatedExperiment(ABC):
             self._overlap_models[slot] = model
         return model
 
-    def _submit_overlapped_eval(self, record: RoundRecord) -> None:
+    def _submit_overlapped_eval(
+        self,
+        record: RoundRecord,
+        state: Optional[Dict[str, np.ndarray]] = None,
+        version: Optional[int] = None,
+    ) -> None:
         """Publish the current weights and stream this round's eval shards.
 
         The snapshot is immutable (read-only arrays), so round *r+1* can
         mutate the live model underneath the in-flight shards; the result
         is bit-identical to the barrier path because the shards see
-        exactly the weights the barrier eval would have seen.
+        exactly the weights the barrier eval would have seen.  ``state``
+        (the async pipeline's server dict) publishes a server state that
+        never lives in the global model; ``version`` defaults to the
+        round index (the async path passes the server's merge-event
+        count instead, so the snapshot names the exact merge frontier it
+        captured).
         """
         from repro.core.aggregator import publish_snapshot  # local: core imports flsim
 
-        self._published = publish_snapshot(self.global_model, version=record.round)
+        self._published = publish_snapshot(
+            self.global_model if state is None else state,
+            version=record.round if version is None else version,
+        )
         snapshot = self._published
         setup = self._eval_slot_setup
         plan = self.eval_plan(max_samples=self.config.eval_max_samples)
@@ -439,7 +817,8 @@ class FederatedExperiment(ABC):
             f"eval engine: {ev.backend} x{ev.max_workers}",
             f"aggregation: {cfg.aggregation_mode}"
             + (
-                f" (max_staleness={cfg.max_staleness})"
+                f" (max_staleness={cfg.max_staleness}, "
+                f"pipeline_depth={cfg.pipeline_depth})"
                 if cfg.aggregation_mode == "async"
                 else ""
             ),
@@ -455,6 +834,8 @@ class FederatedExperiment(ABC):
 
     def run(self, rounds: Optional[int] = None, verbose: bool = False) -> List[RoundRecord]:
         rounds = rounds if rounds is not None else self.config.rounds
+        if self.config.aggregation_mode == "async":
+            return self._run_async(rounds, verbose)
         for t in range(rounds):
             clients, states = self.sample_round(t)
             costs = self.run_round(t, clients, states)

@@ -47,7 +47,13 @@ from repro.metrics.evaluation import EvalPlan, EvalResult, seed_entropy, shard_r
 
 @dataclass(frozen=True)
 class EvalShard:
-    """One evaluation work unit: one attack over one sample range."""
+    """One evaluation work unit: one attack over one sample range.
+
+    Shards are a pure function of (plan, sample count) and carry their
+    own RNG identity (``shard_idx`` seeds ``shard_rng``), so a shard
+    computes the same correct-count no matter which backend, worker, or
+    wall-clock order runs it.
+    """
 
     attack_idx: int
     shard_idx: int  # batch index within the attack (seeds the shard RNG)
@@ -320,7 +326,13 @@ class EvalExecutor:
 
 
 class PendingEval:
-    """A handle on an in-flight sharded evaluation."""
+    """A handle on an in-flight sharded evaluation.
+
+    Shards may complete in any wall-clock order; :meth:`result` reduces
+    them in input order, so the resolved :class:`EvalResult` is
+    bit-identical to the barrier :meth:`EvalExecutor.run` over the same
+    published weights.
+    """
 
     def __init__(self, group, plan: EvalPlan, n: int, targets, executor: EvalExecutor):
         self.group = group
@@ -334,7 +346,7 @@ class PendingEval:
         return self.group.done()
 
     def result(self) -> EvalResult:
-        """Block until every shard lands; reduce once and cache."""
+        """Block until every shard lands; reduce once (in input order) and cache."""
         if self._result is None:
             try:
                 shard_results = self.group.results()

@@ -107,7 +107,12 @@ class RoundExecutor:
             self._thread_pool = None
 
     def workers_for(self, num_items: int) -> int:
-        """Effective worker count for a round of ``num_items`` work units."""
+        """Effective worker count for a round of ``num_items`` work units.
+
+        A pure function of ``(max_workers, num_items)`` — never of load
+        or scheduling — so stripe assignments derived from it are
+        reproducible.
+        """
         return max(1, min(self.max_workers, num_items))
 
     def forks_for(self, num_items: int) -> bool:

@@ -41,19 +41,38 @@ Backend mapping:
   region at launch (the fork is the snapshot; children cannot outlive the
   phase), completing atomically.  Cross-phase overlap needs the thread
   backend.
+
+On top of the task groups sits the **cross-round async pipeline**
+(:class:`CrossRoundPipeline`): up to ``depth`` training rounds in flight
+at once, each dispatched against the server state its *simulated*
+dispatch time implies (the per-round **base version** — the count of
+merge events applied to the server before dispatch), with merge events
+replayed in simulated-arrival order across all in-flight rounds.  See the
+class docstring for the full determinism argument.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.flsim.executor import RoundExecutor
 
 
-class _SlotPool:
-    """Leases worker-slot ids so concurrent tasks never share a workspace."""
+class SlotPool:
+    """Leases worker-slot ids so concurrent tasks never share a workspace.
+
+    One pool may be shared by *several* concurrent task groups (the
+    cross-round pipeline passes one pool to every train group), in which
+    case no two concurrent tasks across those groups ever hold the same
+    slot — the invariant that lets different rounds reuse one set of
+    model workspaces.  Which slot a task gets is scheduling-dependent;
+    callers keep results deterministic by making work units
+    slot-independent (each restores its full input state from a
+    snapshot, so the slot only picks a private workspace).
+    """
 
     def __init__(self, size: int):
         self._free = list(range(size))
@@ -70,6 +89,10 @@ class _SlotPool:
             self._free.append(slot)
             self._free.sort()
             self._cond.notify()
+
+
+#: Historical (private) name, kept for callers of the PR 4 surface.
+_SlotPool = SlotPool
 
 
 class TaskGroup:
@@ -113,10 +136,28 @@ class TaskGroup:
 
     # -- consumer side -----------------------------------------------------
     def done(self) -> bool:
+        """Whether every work unit has completed (successfully or not)."""
         return self._done.is_set()
 
     def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the group completes; returns ``done()``."""
         return self._done.wait(timeout)
+
+    def next_completion(self) -> Tuple[int, Any]:
+        """Block for the next completed work unit; single consumer.
+
+        Returns ``(index, result)`` in completion order — the
+        wall-clock order, which is scheduling-dependent.  Consumers that
+        need determinism (the async merge replay) therefore buffer
+        completions and act on them in an order derived from *simulated*
+        time, never from the order this method yields.  A work-unit
+        exception is re-raised here.  Must be called at most
+        ``num_items`` times.
+        """
+        index, result, error = self._completed.get()
+        if error is not None:
+            raise error
+        return index, result
 
     def stream(self):
         """Yield ``(index, result)`` in completion order; single consumer.
@@ -125,10 +166,7 @@ class TaskGroup:
         would have been yielded.
         """
         for _ in range(self.num_items):
-            index, result, error = self._completed.get()
-            if error is not None:
-                raise error
-            yield index, result
+            yield self.next_completion()
 
     def results(self) -> List[Any]:
         """Barrier view: block until done, return results in input order."""
@@ -175,11 +213,16 @@ class FLScheduler:
         fn: Callable[[Any, int], Any],
         items: Sequence[Any],
         deps: Sequence[TaskGroup] = (),
+        slot_pool: Optional[SlotPool] = None,
     ) -> TaskGroup:
         """Register one phase; launch it once every ``deps`` group is done.
 
         Returns the :class:`TaskGroup` immediately — consume it via
         :meth:`TaskGroup.stream` or :meth:`TaskGroup.results`.
+        ``slot_pool`` overrides the group-private slot pool with a shared
+        one so *several concurrent groups* (the pipeline's cross-round
+        train groups) can coexist on one set of worker workspaces without
+        two in-flight tasks ever sharing a slot.
         """
         items = list(items)
         group = TaskGroup(tag, len(items))
@@ -187,7 +230,7 @@ class FLScheduler:
             return group
         pending = [dep for dep in deps if not dep.done()]
         if not pending:
-            self._launch(group, fn, items)
+            self._launch(group, fn, items, slot_pool)
             return group
         remaining = [len(pending)]
         lock = threading.Lock()
@@ -199,7 +242,7 @@ class FLScheduler:
                     return
             # Launch in whichever thread finished the last dependency; the
             # serial/process launch paths run the work right here.
-            self._launch(group, fn, items)
+            self._launch(group, fn, items, slot_pool)
 
         for dep in pending:
             dep._add_done_callback(dep_done)
@@ -212,13 +255,27 @@ class FLScheduler:
         items: Sequence[Any],
         deps: Sequence[TaskGroup] = (),
     ) -> List[Any]:
-        """Submit a group and gather it: the ``map``-compatible barrier."""
+        """Submit a group and gather it: the ``map``-compatible barrier.
+
+        Inherits the group determinism contract — results in input order,
+        a pure function of the item list on every backend.
+        """
         return self.submit_group(tag, fn, items, deps).results()
 
     # -- dispatch ----------------------------------------------------------
-    def _launch(self, group: TaskGroup, fn, items: List[Any]) -> None:
+    def _launch(
+        self,
+        group: TaskGroup,
+        fn,
+        items: List[Any],
+        slot_pool: Optional[SlotPool] = None,
+    ) -> None:
         if self.executor.backend == "thread" and self.executor.max_workers > 1:
-            slots = _SlotPool(self.executor.workers_for(len(items)))
+            slots = (
+                slot_pool
+                if slot_pool is not None
+                else SlotPool(self.executor.workers_for(len(items)))
+            )
             pool = self.executor.thread_pool
             for i, item in enumerate(items):
                 pool.submit(self._run_task, group, fn, i, item, slots)
@@ -248,7 +305,7 @@ class FLScheduler:
             group._complete(i, result, None)
 
     @staticmethod
-    def _run_task(group: TaskGroup, fn, index: int, item: Any, slots: _SlotPool) -> None:
+    def _run_task(group: TaskGroup, fn, index: int, item: Any, slots: SlotPool) -> None:
         slot = slots.acquire()
         try:
             result = fn(item, slot)
@@ -258,3 +315,228 @@ class FLScheduler:
             group._complete(index, result, None)
         finally:
             slots.release(slot)
+
+
+# ---------------------------------------------------------------------------
+# Cross-round asynchronous pipeline
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AsyncRoundTicket:
+    """Bookkeeping for one in-flight round of the cross-round pipeline.
+
+    ``base_version`` is the per-round base version every client of the
+    round trains from: the number of merge events the server had absorbed
+    at the round's simulated dispatch time.  ``events`` holds the round's
+    merge schedule as client *positions* (ascending within an event, so
+    within-event averages always reduce in input order); ``event_times``
+    are the absolute simulated times each event applies (the arrival of
+    its slowest member).  ``updates`` buffers landed work-unit results
+    until the simulated order lets them merge.
+    """
+
+    round_idx: int
+    dispatch_time: float
+    base_version: int
+    events: List[List[int]]
+    event_times: List[float]
+    meta: Any = None
+    group: Optional[TaskGroup] = None
+    next_event: int = 0
+    landed: List[bool] = field(default_factory=list)
+    updates: List[Any] = field(default_factory=list)
+
+    @property
+    def drain_time(self) -> float:
+        """Simulated time the round's last merge event applies."""
+        return self.event_times[-1] if self.event_times else self.dispatch_time
+
+
+class CrossRoundPipeline:
+    """Staleness-bounded asynchronous execution across round boundaries.
+
+    The classic async round still drains at every round boundary: all of
+    round *r*'s updates must merge before round *r+1* may dispatch.  The
+    pipeline removes that barrier the way a bounded-staleness parameter
+    server does: up to ``depth`` rounds are in flight at once, round *r*
+    dispatches against the **latest merged server state** its simulated
+    dispatch time implies, and fast clients of round *r* merge while the
+    stragglers of round *r−1* are still training.
+
+    Mechanics (all in *simulated* time, never wall clock):
+
+    * round *r*'s dispatch time is ``max(previous dispatch, drain time of
+      round r−depth)`` — the SSP-style capacity rule: at most ``depth``
+      rounds between the oldest un-drained round and the newest dispatch;
+    * before dispatching, every merge event (of any in-flight round) with
+      apply time ≤ the dispatch time is applied, in global
+      ``(time, round, event)`` order; the server version after that replay
+      is the round's **base version** and the caller snapshots the server
+      for the round's clients right then;
+    * each round's own merge schedule is
+      :func:`repro.core.aggregator.async_merge_schedule` over its
+      simulated arrival order, so ``max_staleness`` bounds the
+      *intra-round* merge lag exactly as in the single-round engine; the
+      staleness handed to the merge callback is the **total** lag
+      ``server version at merge − base version``, which additionally
+      counts interleaved merges of the other in-flight rounds (at
+      ``depth=1`` the two notions coincide).
+
+    Determinism contract: the merge replay order, per-round base
+    versions, and dispatch times are pure functions of the per-client
+    simulated costs — wall-clock completion order only decides *when* a
+    buffered result becomes available, never when it merges.  Results are
+    therefore bit-identical on every backend at any worker count, and
+    ``depth=1`` with ``max_staleness=0`` reproduces synchronous FedAvg
+    exactly.  Wall-clock overlap needs the thread backend (serial and
+    process launch groups eagerly at dispatch and degrade gracefully to
+    the same — bit-identical — results).
+    """
+
+    def __init__(
+        self,
+        scheduler: FLScheduler,
+        max_staleness: int,
+        depth: int,
+        merge_event: Callable[[AsyncRoundTicket, List[int], int], None],
+        round_complete: Callable[[AsyncRoundTicket], None],
+        tag: str = "train",
+    ):
+        if depth < 1:
+            raise ValueError("pipeline depth must be >= 1")
+        if max_staleness < 0:
+            raise ValueError("max_staleness must be >= 0")
+        self.scheduler = scheduler
+        self.max_staleness = max_staleness
+        self.depth = depth
+        self.merge_event = merge_event
+        self.round_complete = round_complete
+        self.tag = tag
+        #: Server version: merge events applied so far.
+        self.version = 0
+        #: Highest number of concurrently in-flight rounds observed.
+        self.peak_in_flight = 0
+        self._inflight: List[AsyncRoundTicket] = []
+        self._dispatched = 0
+        self._last_dispatch_time = 0.0
+        self._drain_watermarks: List[float] = []  # running max drain per dispatch
+        executor = scheduler.executor
+        self._slot_pool = (
+            SlotPool(executor.max_workers)
+            if executor.backend == "thread" and executor.max_workers > 1
+            else None
+        )
+
+    @property
+    def in_flight(self) -> int:
+        """Rounds dispatched but not yet fully merged."""
+        return len(self._inflight)
+
+    def dispatch(
+        self,
+        round_idx: int,
+        items: Sequence[Any],
+        costs_s: Sequence[float],
+        fn_factory: Callable[[AsyncRoundTicket], Callable[[Any, int], Any]],
+        meta: Any = None,
+    ) -> AsyncRoundTicket:
+        """Dispatch one round against the server state its sim-time implies.
+
+        ``costs_s`` are the clients' simulated training latencies (pure
+        arithmetic over device states, known *before* training), which fix
+        the arrival order, the merge schedule, and every event's apply
+        time.  ``fn_factory(ticket)`` is called *after* the pre-dispatch
+        merge replay, so it can snapshot the server at exactly the
+        round's base version and close the work function over that
+        snapshot.  Rounds must be dispatched in increasing simulated
+        order (the run loop's natural order).
+        """
+        from repro.core.aggregator import async_merge_schedule  # local: core imports flsim
+
+        items = list(items)
+        costs_s = [float(c) for c in costs_s]
+        if len(items) != len(costs_s):
+            raise ValueError("items and costs_s must have equal length")
+        t = self._last_dispatch_time
+        if self._dispatched >= self.depth:
+            t = max(t, self._drain_watermarks[self._dispatched - self.depth])
+        self.advance_to(t)
+        order = sorted(range(len(items)), key=lambda i: (costs_s[i], i))
+        events = [
+            sorted(order[pos] for pos in event)
+            for event in async_merge_schedule(len(items), self.max_staleness)
+        ]
+        event_times = [
+            t + max(costs_s[i] for i in event) for event in events
+        ]
+        ticket = AsyncRoundTicket(
+            round_idx=round_idx,
+            dispatch_time=t,
+            base_version=self.version,
+            events=events,
+            event_times=event_times,
+            meta=meta,
+            landed=[False] * len(items),
+            updates=[None] * len(items),
+        )
+        ticket.group = self.scheduler.submit_group(
+            self.tag, fn_factory(ticket), items, slot_pool=self._slot_pool
+        )
+        self._last_dispatch_time = t
+        previous = self._drain_watermarks[-1] if self._drain_watermarks else 0.0
+        self._drain_watermarks.append(max(previous, ticket.drain_time))
+        self._dispatched += 1
+        if ticket.events:
+            self._inflight.append(ticket)
+            self.peak_in_flight = max(self.peak_in_flight, len(self._inflight))
+        else:  # empty round: nothing to merge
+            self.round_complete(ticket)
+        return ticket
+
+    def advance_to(self, time_limit: float) -> None:
+        """Apply every merge event with apply time ≤ ``time_limit``.
+
+        Events replay in global ``(apply time, round, event)`` order;
+        applying one may block on the wall clock until the event's member
+        results actually land — which is exactly where the pipeline's
+        overlap comes from: while this waits on round *r*'s fast clients,
+        round *r−1*'s stragglers keep training on other workers.
+        """
+        while True:
+            ticket = self._next_ready(time_limit)
+            if ticket is None:
+                return
+            self._apply_event(ticket)
+
+    def drain_all(self) -> None:
+        """Apply every outstanding merge event (end of the run loop)."""
+        self.advance_to(float("inf"))
+
+    # -- internals ---------------------------------------------------------
+    def _next_ready(self, time_limit: float) -> Optional[AsyncRoundTicket]:
+        best: Optional[AsyncRoundTicket] = None
+        best_key: Optional[Tuple[float, int, int]] = None
+        for ticket in self._inflight:
+            key = (
+                ticket.event_times[ticket.next_event],
+                ticket.round_idx,
+                ticket.next_event,
+            )
+            if key[0] <= time_limit and (best_key is None or key < best_key):
+                best, best_key = ticket, key
+        return best
+
+    def _apply_event(self, ticket: AsyncRoundTicket) -> None:
+        members = ticket.events[ticket.next_event]
+        while not all(ticket.landed[i] for i in members):
+            index, result = ticket.group.next_completion()
+            ticket.landed[index] = True
+            ticket.updates[index] = result
+        staleness = self.version - ticket.base_version
+        self.merge_event(ticket, members, staleness)
+        self.version += 1
+        ticket.next_event += 1
+        if ticket.next_event == len(ticket.events):
+            self._inflight.remove(ticket)
+            self.round_complete(ticket)

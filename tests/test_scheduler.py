@@ -324,14 +324,24 @@ class TestAsyncAggregation:
         with pytest.raises(ValueError):
             FLConfig(max_staleness=-1)
 
-    def test_prophet_rejects_async(self):
-        with pytest.raises(ValueError, match="async"):
+    def test_prophet_accepts_async_but_rejects_cross_round_pipeline(self):
+        # PR 5: FedProphet speaks async (per-module within-round merges)
+        # but cascade_eval gates every round, so depth > 1 must raise.
+        builder = lambda rng: build_cnn(3, 10, (3, 8, 8), base_channels=4, rng=rng)
+        exp = FedProphet(
+            _task(), builder,
+            FedProphetConfig(
+                num_clients=2, clients_per_round=1, rounds=1,
+                aggregation_mode="async",
+            ),
+        )
+        assert exp.supports_async_aggregation
+        with pytest.raises(ValueError, match="pipeline_depth"):
             FedProphet(
-                _task(),
-                lambda rng: build_cnn(3, 10, (3, 8, 8), base_channels=4, rng=rng),
+                _task(), builder,
                 FedProphetConfig(
                     num_clients=2, clients_per_round=1, rounds=1,
-                    aggregation_mode="async",
+                    aggregation_mode="async", pipeline_depth=2,
                 ),
             )
 
