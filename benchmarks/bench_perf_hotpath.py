@@ -46,6 +46,11 @@ state while stragglers finish).  The pipelined run must be
 the merge replay is simulated-order, so wall-clock scheduling must not
 leak in), and on ≥4-core machines ≥1.2× faster than the depth-1 barrier.
 
+An eighth section benchmarks the **crash-tolerance layer** (PR 6): the
+same synchronous run bare vs journalled-and-checkpointed.  The
+journalled run must be **bit-identical** to the bare one (hard failure)
+and its wall-clock overhead is gated at ≤5 %.
+
 ``BENCH_PERF.json`` (repo root) keeps a **history**: one entry per run,
 keyed by git SHA + date + runner core count, so the perf trajectory
 across PRs stays visible; a metric dropping more than 20 % against the
@@ -507,6 +512,92 @@ def bench_pipeline_async(params: dict) -> Dict[str, dict]:
     return out
 
 
+def bench_fault_tolerance(params: dict) -> Dict[str, dict]:
+    """The crash-tolerance layer: journal + checkpoints vs a bare run.
+
+    The same short synchronous jFAT run twice:
+
+    * ``journal_off`` — no journal, no checkpoints (the PR 5 engine);
+    * ``journal_on``  — an append-only JSONL journal (flushed per event)
+      plus an atomic full-state checkpoint every 2 rounds.
+
+    The journalled run must produce **bit-identical** final weights (the
+    journal only observes the run; checkpointing must not perturb it —
+    hard failure otherwise), and its wall-clock overhead is gated at
+    <= 5% of the bare run.
+    """
+    import shutil
+    import tempfile
+
+    from repro.baselines import JointFAT
+    from repro.flsim import FLConfig
+
+    rounds = params["pipeline_rounds"] + 2
+    checkpoint_every = 2
+
+    def build(journal_path=None) -> JointFAT:
+        task = make_cifar10_like(
+            image_size=8, train_per_class=params["train_per_class"],
+            test_per_class=10, seed=0,
+        )
+        cfg = FLConfig(
+            num_clients=6, clients_per_round=3,
+            local_iters=params["local_iters"], batch_size=32, lr=0.05,
+            rounds=rounds, train_pgd_steps=2, eval_pgd_steps=2, eval_every=0,
+            seed=0, journal_path=journal_path,
+            checkpoint_every=checkpoint_every if journal_path else 0,
+        )
+        return JointFAT(
+            task,
+            lambda rng: build_vgg("vgg11", 10, (3, 8, 8), width_mult=0.25, rng=rng),
+            cfg,
+        )
+
+    out: Dict[str, dict] = {
+        "cpus": os.cpu_count() or 1, "rounds": rounds,
+        "checkpoint_every": checkpoint_every,
+    }
+    workdir = tempfile.mkdtemp(prefix="bench-fault-tolerance-")
+    finals = {}
+    best = {"journal_off": float("inf"), "journal_on": float("inf")}
+    try:
+        # Interleave the variants (alternating which goes first) so
+        # machine-load drift hits both equally instead of biasing the
+        # overhead ratio, and use extra reps: the gate compares two
+        # near-equal times, so the min needs more samples to converge
+        # than a >=2x speedup check does.
+        for rep in range(max(params["reps"], 5)):
+            order = ("journal_off", "journal_on")
+            for name in (order if rep % 2 == 0 else order[::-1]):
+                journal = (
+                    os.path.join(workdir, f"run-{rep}.jsonl")
+                    if name == "journal_on" else None
+                )
+                exp = build(journal)
+                t0 = time.perf_counter()
+                exp.run()
+                best[name] = min(best[name], time.perf_counter() - t0)
+                exp.close()
+                finals[name] = exp.global_model.state_dict()
+        for name in ("journal_off", "journal_on"):
+            out[name] = {
+                "seconds": best[name], "rounds_per_sec": rounds / best[name],
+            }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    for key, value in finals["journal_off"].items():
+        if not np.array_equal(value, finals["journal_on"][key]):
+            raise SystemExit(
+                f"FAIL: fault_tolerance journalled run diverged from the "
+                f"bare run at {key!r}"
+            )
+    out["identical_with_journal"] = True
+    out["overhead_frac"] = (
+        out["journal_on"]["seconds"] / out["journal_off"]["seconds"] - 1.0
+    )
+    return out
+
+
 def run_mode(mode: str, params: dict) -> Dict[str, dict]:
     spec = MODES[mode]
     previous = set_fast_path(spec["fast_path"])
@@ -564,6 +655,10 @@ def _flat_metrics(entry: dict) -> Dict[str, float]:
         rec = entry.get("pipeline_async", {}).get(variant)
         if rec is not None:
             out[f"pipeline_async.{variant}"] = rec["rounds_per_sec"]
+    for variant in ("journal_off", "journal_on"):
+        rec = entry.get("fault_tolerance", {}).get(variant)
+        if rec is not None:
+            out[f"fault_tolerance.{variant}"] = rec["rounds_per_sec"]
     return out
 
 
@@ -763,6 +858,29 @@ def main() -> dict:
     )
     print(f"pipelined async rounds: {pa['speedups']['pipelined_async']:.2f}x")
 
+    # Crash-tolerance layer: journalled + checkpointed run vs bare run.
+    previous_fast = set_fast_path(True)
+    try:
+        report["fault_tolerance"] = bench_fault_tolerance(params)
+    finally:
+        set_fast_path(previous_fast)
+    ft = report["fault_tolerance"]
+    print(
+        format_table(
+            ["mode", "seconds", "rounds/s"],
+            [
+                (name, f"{ft[name]['seconds']:.3f}", f"{ft[name]['rounds_per_sec']:.2f}")
+                for name in ("journal_off", "journal_on")
+            ],
+            title=(
+                f"Crash tolerance (journal + checkpoint every "
+                f"{ft['checkpoint_every']} of {ft['rounds']} rounds) — "
+                f"weights bit-identical: {ft['identical_with_journal']}"
+            ),
+        )
+    )
+    print(f"journal+checkpoint overhead: {ft['overhead_frac'] * 100:.1f}%")
+
     out_path = Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
     history = _load_history(out_path)
     for warning in _check_regressions(history, report):
@@ -812,6 +930,11 @@ def main() -> dict:
             "NOTE: <4-core runner; the >=1.2x overlapped round+eval and "
             "pipelined-async gates were skipped (both need idle cores to "
             "absorb cross-phase work)"
+        )
+    if ft["overhead_frac"] > 0.05:
+        failures.append(
+            "fault_tolerance journal+checkpoint overhead "
+            f"{ft['overhead_frac'] * 100:.1f}% > 5%"
         )
     for msg in failures:
         if enforce:

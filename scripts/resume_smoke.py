@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke: SIGKILL a journalled run, resume, expect bit-identity.
+
+The CI ``resume-smoke`` job runs this script.  It:
+
+1. computes an **uninterrupted reference** run in-process (journal off);
+2. spawns a child process running the same config with a journal and
+   per-round checkpoints, waits until the journal shows at least
+   ``KILL_AFTER_CHECKPOINTS`` checkpoints, and ``SIGKILL``s it mid-run;
+3. resumes from the journal in a fresh experiment and asserts the final
+   weights, history, and async merge log are **bit-identical** to the
+   reference.
+
+The run uses the async cross-round pipeline (``pipeline_depth=2``) on the
+thread backend, so the kill lands while rounds are genuinely in flight —
+the hardest case the checkpoint layer supports.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.baselines import JointFAT  # noqa: E402
+from repro.data import make_cifar10_like  # noqa: E402
+from repro.flsim import FLConfig, RunJournal  # noqa: E402
+from repro.models import build_cnn  # noqa: E402
+
+ROUNDS = 8
+KILL_AFTER_CHECKPOINTS = 2
+KILL_DEADLINE_S = 300.0
+
+
+def _build(journal_path=None, checkpoint_every=0):
+    task = make_cifar10_like(
+        image_size=8, train_per_class=40, test_per_class=10, seed=0
+    )
+    cfg = FLConfig(
+        num_clients=6, clients_per_round=3, local_iters=4, batch_size=8,
+        lr=0.02, rounds=ROUNDS, train_pgd_steps=2, eval_pgd_steps=2,
+        eval_every=0, eval_max_samples=24, seed=0,
+        executor_backend="thread", round_parallelism=2,
+        aggregation_mode="async", max_staleness=2, pipeline_depth=2,
+        journal_path=journal_path, checkpoint_every=checkpoint_every,
+    )
+    builder = lambda rng: build_cnn(3, 10, (3, 8, 8), base_channels=4, rng=rng)
+    return JointFAT(task, builder, cfg)
+
+
+def _child(journal_path: str) -> int:
+    exp = _build(journal_path, checkpoint_every=1)
+    exp.run()
+    exp.close()
+    return 0
+
+
+def _checkpoints_logged(journal_path: str) -> int:
+    if not os.path.exists(journal_path):
+        return 0
+    return sum(
+        1 for e in RunJournal.read(journal_path) if e.get("kind") == "checkpoint"
+    )
+
+
+def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--child":
+        return _child(sys.argv[2])
+
+    print(f"reference: uninterrupted {ROUNDS}-round run (journal off)")
+    ref = _build()
+    ref.run()
+    ref_state = {k: v.copy() for k, v in ref.global_model.state_dict().items()}
+    ref.close()
+
+    journal = os.path.join(tempfile.mkdtemp(prefix="resume-smoke-"), "run.jsonl")
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    child = subprocess.Popen(
+        [sys.executable, os.path.abspath(__file__), "--child", journal], env=env
+    )
+    print(f"child pid {child.pid}: journalled run, checkpoint every round")
+
+    deadline = time.monotonic() + KILL_DEADLINE_S
+    killed = False
+    while time.monotonic() < deadline:
+        if child.poll() is not None:
+            break
+        if _checkpoints_logged(journal) >= KILL_AFTER_CHECKPOINTS:
+            child.send_signal(signal.SIGKILL)
+            child.wait()
+            killed = True
+            break
+        time.sleep(0.05)
+    if not killed:
+        if child.poll() is None:
+            child.kill()
+            child.wait()
+            print("error: no checkpoint appeared before the deadline")
+            return 1
+        # The child outran the poll loop: resume still must reproduce the
+        # reference from the last checkpoint, so the check stays meaningful.
+        print("note: child finished before the kill; resuming post-run")
+    else:
+        print(
+            f"SIGKILLed child after {_checkpoints_logged(journal)} checkpoints"
+        )
+
+    resumed = _build(journal, checkpoint_every=1)
+    resumed.resume(journal)
+    final = resumed.global_model.state_dict()
+    mismatched = [
+        k for k in ref_state if not np.array_equal(ref_state[k], final[k])
+    ]
+    if mismatched:
+        print(f"FAIL: resumed weights differ from reference: {mismatched}")
+        return 1
+    if len(resumed.history) != ROUNDS:
+        print(f"FAIL: resumed history has {len(resumed.history)} records")
+        return 1
+    if [e.alpha for e in resumed.async_log] != [e.alpha for e in ref.async_log]:
+        print("FAIL: resumed merge log differs from reference")
+        return 1
+    events = RunJournal.read(journal)
+    kinds = [e["kind"] for e in events]
+    if "resume" not in kinds or kinds[-1] != "run_end":
+        print(f"FAIL: journal lifecycle malformed: {kinds}")
+        return 1
+    resumed.close()
+    print(
+        f"resume smoke ok: {ROUNDS} rounds, bit-identical weights + history "
+        f"+ {len(resumed.async_log)} merge events after SIGKILL/resume"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

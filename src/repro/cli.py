@@ -89,7 +89,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     from repro.core import FedProphet, FedProphetConfig
     from repro.data import make_cifar10_like
-    from repro.flsim import FLConfig
+    from repro.flsim import FaultPlan, FLConfig
     from repro.hardware import DeviceSampler, device_pool
     from repro.models import build_vgg
     from repro.nn.normalization import DualBatchNorm2d
@@ -113,6 +113,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
     eval_every = args.eval_every
     if eval_every is None:
         eval_every = max(1, args.rounds // 4) if args.overlap_eval else 0
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    fault_plan = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
     common = dict(
         num_clients=args.clients, clients_per_round=args.clients_per_round,
         local_iters=args.local_iters, batch_size=args.batch_size, lr=args.lr,
@@ -123,6 +127,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
         aggregation_mode=args.aggregation_mode, max_staleness=args.max_staleness,
         pipeline_depth=args.pipeline_depth,
         overlap_eval=args.overlap_eval, split_autoattack=args.split_autoattack,
+        journal_path=args.journal, checkpoint_every=args.checkpoint_every,
+        fault_plan=fault_plan, client_timeout=args.client_timeout,
+        max_client_retries=args.max_client_retries,
+        min_clients_per_round=args.min_clients_per_round,
     )
     if args.method == "fedprophet":
         exp = FedProphet(
@@ -144,7 +152,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
         # Resolved worker counts for both engines (the CLI flags are caps;
         # None resolves to the CPU count / the round engine's settings).
         print(exp.describe_parallelism())
-    exp.run(verbose=args.verbose)
+    if args.resume:
+        exp.resume(args.journal, verbose=args.verbose)
+    else:
+        exp.run(verbose=args.verbose)
     res = exp.final_eval(max_samples=150)
     print(
         f"\n{args.method}: clean {res.clean_acc:.2%}, PGD {res.pgd_acc:.2%}, "
@@ -226,6 +237,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--split-autoattack", action="store_true",
                    help="shard AutoAttack into FGSM/PGD/APGD ensemble members "
                         "to shorten the eval critical path")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="write an append-only JSONL run journal to PATH "
+                        "(config fingerprint, rounds, merges, evals, "
+                        "checkpoints)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume an interrupted run from --journal's last "
+                        "checkpoint (bit-identical to the uninterrupted run)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="atomically checkpoint run state every K rounds "
+                        "(0 = off; requires --journal)")
+    p.add_argument("--fault-plan", default=None, metavar="SPEC",
+                   help="seeded fault injection: inline JSON ('{...}') or a "
+                        "JSON file with FaultPlan fields (dropout_prob, "
+                        "straggler_prob, flaky_prob, ...)")
+    p.add_argument("--client-timeout", type=float, default=None,
+                   help="simulated seconds before the server gives up on a "
+                        "sampled client (faulty clients exceeding it are "
+                        "dropped)")
+    p.add_argument("--max-client-retries", type=int, default=2,
+                   help="bounded retries for flaky clients (exponential "
+                        "backoff in simulated time)")
+    p.add_argument("--min-clients-per-round", type=int, default=1,
+                   help="abort a round (deterministically) when the fault "
+                        "plan leaves fewer survivors")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_train)
     return parser

@@ -546,6 +546,20 @@ class FedProphet(FederatedExperiment):
 
     # -- the Algorithm 2 outer loop ----------------------------------------------
     def run(self, rounds: Optional[int] = None, verbose: bool = False) -> List[RoundRecord]:
+        """Journal-wrapped Algorithm 2 (checkpoint/resume is refused at init:
+        the cascade loop's module/APA state is not generically resumable)."""
+        self._open_journal()
+        try:
+            records = self._run_cascade(rounds, verbose)
+        except BaseException:
+            self._abort_cleanup()
+            raise
+        self._jlog("run_end", rounds=len(records), clock_s=self.clock_s)
+        return records
+
+    def _run_cascade(
+        self, rounds: Optional[int] = None, verbose: bool = False
+    ) -> List[RoundRecord]:
         cfg = self.config
         budget = rounds if rounds is not None else cfg.rounds
         t = 0
@@ -567,6 +581,13 @@ class FedProphet(FederatedExperiment):
 
             while stage_rounds < cfg.rounds_per_module and t < budget:
                 clients, states = self.sample_round(t)
+                if self._fault_aborted():
+                    # No training, no module progress metric: the aborted
+                    # round burns budget but not the staleness counter.
+                    self._finish_aborted_round(t)
+                    stage_rounds += 1
+                    t += 1
+                    continue
                 round_costs = self.run_round(t, clients, states)
                 self.advance_clock(round_costs)
 
@@ -595,6 +616,16 @@ class FedProphet(FederatedExperiment):
                         eval=last_eval,
                     )
                 )
+                self._jlog(
+                    "round",
+                    round=t,
+                    module=m,
+                    sim_time_s=self.clock_s,
+                    compute_s=self.total_compute_s,
+                    access_s=self.total_access_s,
+                    aborted=False,
+                )
+                self._journal_eval(self.history[-1])
                 if verbose:  # pragma: no cover - console reporting
                     print(
                         f"[fedprophet] module {m + 1}/{num_modules} round {t}: "

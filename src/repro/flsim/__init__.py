@@ -26,7 +26,23 @@ from repro.flsim.scheduler import (
 )
 from repro.flsim.eval_executor import EvalExecutor, EvalShard, EvalTarget, PendingEval
 from repro.flsim.local import adversarial_local_train, standard_local_train
-from repro.flsim.history import history_rows, export_csv, time_to_accuracy, best_round
+from repro.flsim.history import (
+    RunHistory,
+    history_rows,
+    export_csv,
+    round_record_from_dict,
+    round_record_to_dict,
+    time_to_accuracy,
+    best_round,
+)
+from repro.flsim.faults import FaultOutcome, FaultPlan, RoundFaults
+from repro.flsim.journal import JournalError, RunJournal
+from repro.flsim.checkpoint import (
+    CheckpointError,
+    config_fingerprint,
+    read_checkpoint,
+    write_checkpoint,
+)
 
 __all__ = [
     "BACKENDS",
@@ -55,4 +71,16 @@ __all__ = [
     "export_csv",
     "time_to_accuracy",
     "best_round",
+    "RunHistory",
+    "round_record_to_dict",
+    "round_record_from_dict",
+    "FaultOutcome",
+    "FaultPlan",
+    "RoundFaults",
+    "RunJournal",
+    "JournalError",
+    "CheckpointError",
+    "config_fingerprint",
+    "read_checkpoint",
+    "write_checkpoint",
 ]

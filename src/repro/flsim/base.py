@@ -9,7 +9,9 @@ periodic evaluation.
 
 from __future__ import annotations
 
+import os
 import threading
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -22,6 +24,8 @@ from repro.data.partition import pathological_partition
 from repro.data.synthetic import SyntheticImageTask
 from repro.flsim.eval_executor import EvalExecutor, EvalTarget, PendingEval
 from repro.flsim.executor import BACKENDS, RoundExecutor
+from repro.flsim.faults import FaultPlan, RoundFaults
+from repro.flsim.journal import JournalError, RunJournal
 from repro.flsim.scheduler import FLScheduler
 from repro.hardware.devices import DeviceSampler, DeviceState
 from repro.hardware.latency import LatencyModel, LocalTrainingCost
@@ -86,6 +90,20 @@ class FLConfig:
     independently scheduled FGSM/PGD/APGD ensemble-member shards (the
     combined worst-case ``aa`` column is still reported), shortening the
     eval critical path on wide machines.
+
+    **Fault tolerance** (see ``docs/fault-tolerance.md``):
+    ``journal_path`` writes an append-only JSONL event log of the run;
+    ``checkpoint_every`` atomically snapshots the full run state every K
+    rounds next to the journal (``<journal>.ckpt``), and
+    :meth:`FederatedExperiment.resume` restarts from the last checkpoint
+    **bit-identically** to an uninterrupted run (generic run loop only —
+    FedProphet's cascade loop refuses).  ``fault_plan`` injects seeded,
+    deterministic client faults (dropout / straggler / flaky-with-retry);
+    ``client_timeout`` bounds how long the synchronous server waits
+    (timed-out clients are dropped), ``max_client_retries`` bounds flaky
+    retries, and a round whose surviving cohort falls below
+    ``min_clients_per_round`` aborts deterministically (no training, an
+    ``aborted`` history record).
     """
 
     num_clients: int = 100
@@ -113,10 +131,23 @@ class FLConfig:
     pipeline_depth: int = 1
     overlap_eval: bool = False
     split_autoattack: bool = False
+    journal_path: Optional[str] = None
+    checkpoint_every: int = 0
+    fault_plan: Optional[FaultPlan] = None
+    client_timeout: Optional[float] = None
+    max_client_retries: int = 2
+    min_clients_per_round: int = 1
 
     def __post_init__(self):
         if self.clients_per_round > self.num_clients:
-            raise ValueError("clients_per_round cannot exceed num_clients")
+            warnings.warn(
+                f"clients_per_round={self.clients_per_round} exceeds "
+                f"num_clients={self.num_clients}; clamping to "
+                f"{self.num_clients}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.clients_per_round = self.num_clients
         if not (0 < self.lr_decay <= 1):
             raise ValueError("lr_decay must be in (0, 1]")
         if self.executor_backend not in BACKENDS:
@@ -147,6 +178,26 @@ class FLConfig:
                 "pipeline_depth > 1 requires aggregation_mode='async' "
                 "(cross-round dispatch merges updates out of round order)"
             )
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0 = off)")
+        if self.checkpoint_every and not self.journal_path:
+            raise ValueError(
+                "checkpoint_every requires journal_path (checkpoints live "
+                "next to the journal and resume() finds them through it)"
+            )
+        if isinstance(self.fault_plan, dict):
+            self.fault_plan = FaultPlan(**self.fault_plan)
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ValueError(
+                f"fault_plan must be a FaultPlan (or a dict of its fields), "
+                f"got {type(self.fault_plan).__name__}"
+            )
+        if self.client_timeout is not None and self.client_timeout <= 0:
+            raise ValueError("client_timeout must be > 0 (or None)")
+        if self.max_client_retries < 0:
+            raise ValueError("max_client_retries must be >= 0")
+        if self.min_clients_per_round < 1:
+            raise ValueError("min_clients_per_round must be >= 1")
 
 
 @dataclass
@@ -163,13 +214,19 @@ class FLClient:
 
 @dataclass
 class RoundRecord:
-    """History entry: clock state and (optionally) accuracy at a round."""
+    """History entry: clock state and (optionally) accuracy at a round.
+
+    ``aborted`` marks a round the fault plan cancelled (surviving cohort
+    below ``min_clients_per_round``): no training happened, the model is
+    unchanged, and the clock advanced only by the server's timeout wait.
+    """
 
     round: int
     sim_time_s: float
     compute_s: float
     access_s: float
     eval: Optional[EvalResult] = None
+    aborted: bool = False
 
 
 @dataclass(frozen=True)
@@ -281,6 +338,13 @@ class FederatedExperiment(ABC):
                 f"evaluation feeds back into training (e.g. APA/early-stop), "
                 f"so evaluation is on the algorithmic critical path"
             )
+        if config.checkpoint_every and type(self).run is not FederatedExperiment.run:
+            raise ValueError(
+                f"{type(self).__name__} overrides run() with a custom loop; "
+                f"checkpoint/resume supports the generic run loop only "
+                f"(set checkpoint_every=0; journalling and fault injection "
+                f"still work)"
+            )
         self.executor = RoundExecutor(config.executor_backend, config.round_parallelism)
         self.scheduler = FLScheduler(self.executor)
         self.eval_executor = EvalExecutor(
@@ -300,6 +364,12 @@ class FederatedExperiment(ABC):
         #: Applied merge events of every asynchronous round, in merge order.
         self.async_log: List[AsyncMergeEvent] = []
         self._last_pipeline_stats: Optional[Dict[str, int]] = None
+        # Fault-tolerance state: the open journal, the current round's fault
+        # verdict, and the resume cursor installed by resume().
+        self._journal: Optional[RunJournal] = None
+        self._round_faults: Optional[RoundFaults] = None
+        self._resume_round: int = 0
+        self._resume_async: Optional[Dict[str, Any]] = None
 
     # -- executor workspaces -------------------------------------------------
     def _slot_model(self, slot: int) -> CascadeModel:
@@ -375,25 +445,134 @@ class FederatedExperiment(ABC):
     def sample_round(
         self, round_idx: int
     ) -> Tuple[List[FLClient], List[Optional[DeviceState]]]:
-        """Uniformly sample C participating clients and their device states."""
+        """Uniformly sample C participating clients and their device states.
+
+        With an active ``fault_plan``, the sampled cohort is then filtered
+        to the fault survivors (the fault RNG is a separate seeded stream,
+        so the experiment's own sampling draws are untouched — a disabled
+        plan reproduces the fault-free run bit for bit).  An aborted round
+        (survivors below ``min_clients_per_round``) returns the *sampled*
+        cohort unfiltered; callers check :meth:`_fault_aborted` before
+        training.
+        """
+        cfg = self.config
         ids = self.rng.choice(
-            self.config.num_clients, size=self.config.clients_per_round, replace=False
+            cfg.num_clients, size=cfg.clients_per_round, replace=False
         )
         selected = [self.clients[i] for i in ids]
         if self.device_sampler is None:
             states: List[Optional[DeviceState]] = [None] * len(selected)
         else:
             states = list(self.device_sampler.sample_many(len(selected), self.rng))
+        self._round_faults = None
+        plan = cfg.fault_plan
+        if plan is not None and plan.active:
+            estimates = (
+                self.fault_client_costs(round_idx, selected, states)
+                if cfg.client_timeout is not None
+                else None
+            )
+            faults = plan.plan_round(
+                round_idx,
+                [c.cid for c in selected],
+                estimates,
+                client_timeout=cfg.client_timeout,
+                max_retries=cfg.max_client_retries,
+                min_clients=cfg.min_clients_per_round,
+            )
+            self._round_faults = faults
+            self._jlog(
+                "faults",
+                round=round_idx,
+                sampled=[c.cid for c in selected],
+                dropped=faults.dropped_cids,
+                retries={selected[i].cid: n for i, n in faults.retries.items()},
+                aborted=faults.aborted,
+            )
+            if not faults.aborted:
+                selected = [selected[i] for i in faults.survivors]
+                states = [states[i] for i in faults.survivors]
+        self._jlog("sample", round=round_idx, cids=[c.cid for c in selected])
         return selected, states
 
+    def fault_client_costs(
+        self,
+        round_idx: int,
+        clients: List[FLClient],
+        states: List[Optional[DeviceState]],
+    ) -> Optional[List[Optional[float]]]:
+        """Best-effort per-client latency estimate for ``client_timeout``.
+
+        Total simulated seconds per sampled client, *before* training
+        (the timeout decision must be pure).  Defaults to
+        :meth:`async_client_costs` when the experiment implements it;
+        experiments without a pre-training cost model return None and the
+        timeout check is skipped.
+        """
+        try:
+            costs = self.async_client_costs(round_idx, clients, states)
+        except NotImplementedError:
+            return None
+        return [c.total_s for c in costs]
+
+    def _fault_aborted(self) -> bool:
+        """Whether the fault plan aborted the round just sampled."""
+        return self._round_faults is not None and self._round_faults.aborted
+
+    def _finish_aborted_round(self, round_idx: int, wait: bool = True) -> RoundRecord:
+        """Record a fault-aborted round: no training, deterministic clock.
+
+        A synchronous server (``wait=True``) sits out ``client_timeout``
+        before abandoning the round (pure data-access/waiting time); the
+        async server never waits on a round barrier, so its clock is
+        untouched.
+        """
+        faults = self._round_faults
+        self._round_faults = None
+        floor = faults.timeout_floor_s if faults is not None else None
+        if wait and floor is not None:
+            self.clock_s += floor
+            self.total_access_s += floor
+        record = RoundRecord(
+            round=round_idx,
+            sim_time_s=self.clock_s,
+            compute_s=self.total_compute_s,
+            access_s=self.total_access_s,
+            aborted=True,
+        )
+        self.history.append(record)
+        self._jlog(
+            "round", round=round_idx, sim_time_s=record.sim_time_s, aborted=True
+        )
+        return record
+
     def advance_clock(self, costs: Sequence[LocalTrainingCost]) -> None:
-        """Synchronous FL: a round lasts as long as its slowest client."""
-        if not costs:
+        """Synchronous FL: a round lasts as long as its slowest client.
+
+        Consumes the pending :class:`RoundFaults` (if any): survivor costs
+        are scaled by the fault latency (straggler slowdown, flaky
+        retries + backoff), and a round that dropped clients lasts at
+        least ``client_timeout`` — the server waits that long before
+        giving up on the missing updates (charged as access/waiting time).
+        """
+        faults = self._round_faults
+        self._round_faults = None
+        floor: Optional[float] = None
+        if faults is not None:
+            costs = faults.scale_costs(costs)
+            floor = faults.timeout_floor_s
+        if not costs and floor is None:
             return
-        bottleneck = max(costs, key=lambda c: c.total_s)
-        self.clock_s += bottleneck.total_s
-        self.total_compute_s += bottleneck.compute_s
-        self.total_access_s += bottleneck.access_s
+        if costs:
+            bottleneck = max(costs, key=lambda c: c.total_s)
+            compute, access = bottleneck.compute_s, bottleneck.access_s
+        else:
+            compute, access = 0.0, 0.0
+        if floor is not None and floor > compute + access:
+            access += floor - (compute + access)
+        self.clock_s += compute + access
+        self.total_compute_s += compute
+        self.total_access_s += access
 
     # -- main loop -------------------------------------------------------------
     @abstractmethod
@@ -520,12 +699,24 @@ class FederatedExperiment(ABC):
         from repro.flsim.scheduler import CrossRoundPipeline
 
         cfg = self.config
-        server = self.async_server_state()
-        history_start = len(self.history)
-        # Per-round bottleneck costs, recorded at dispatch (pure arithmetic)
-        # so completion order cannot scramble the cumulative accounting.
-        bottlenecks: Dict[int, Optional[LocalTrainingCost]] = {}
-        base_compute, base_access = self.total_compute_s, self.total_access_s
+        resume = self._resume_async
+        self._resume_async = None
+        start = self._resume_round
+        self._resume_round = 0
+        if resume is not None:
+            server = {k: v.copy() for k, v in resume["server"].items()}
+            history_start = resume["history_start"]
+            bottlenecks = dict(resume["bottlenecks"])
+            base_compute = resume["base_compute"]
+            base_access = resume["base_access"]
+        else:
+            server = self.async_server_state()
+            history_start = len(self.history)
+            # Per-round bottleneck costs, recorded at dispatch (pure
+            # arithmetic) so completion order cannot scramble the
+            # cumulative accounting.
+            bottlenecks = {}
+            base_compute, base_access = self.total_compute_s, self.total_access_s
 
         def cumulative_cost(last_round: int) -> Tuple[float, float]:
             """Round-ordered cumulative compute/access through ``last_round``.
@@ -547,16 +738,25 @@ class FederatedExperiment(ABC):
             ctx: AsyncRoundContext = ticket.meta
             updates = [ticket.updates[i] for i in members]
             alpha = self.async_merge_event(server, ctx, members, updates, staleness)
-            self.async_log.append(
-                AsyncMergeEvent(
-                    round=ticket.round_idx,
-                    event=ticket.next_event,
-                    staleness=staleness,
-                    client_ids=tuple(ctx.clients[i].cid for i in members),
-                    alpha=alpha,
-                    base_version=ticket.base_version,
-                    sim_time_s=ticket.event_times[ticket.next_event],
-                )
+            event = AsyncMergeEvent(
+                round=ticket.round_idx,
+                event=ticket.next_event,
+                staleness=staleness,
+                client_ids=tuple(ctx.clients[i].cid for i in members),
+                alpha=alpha,
+                base_version=ticket.base_version,
+                sim_time_s=ticket.event_times[ticket.next_event],
+            )
+            self.async_log.append(event)
+            self._jlog(
+                "merge",
+                round=event.round,
+                event=event.event,
+                staleness=event.staleness,
+                client_ids=list(event.client_ids),
+                alpha=event.alpha,
+                base_version=event.base_version,
+                sim_time_s=event.sim_time_s,
             )
 
         def round_complete(ticket):
@@ -583,9 +783,18 @@ class FederatedExperiment(ABC):
                 else:
                     self.global_model.load_state_dict(server)
                     record.eval = self.evaluate()
+                    self._journal_eval(record)
                     if verbose:  # pragma: no cover - console reporting
                         self._print_eval(record)
             self.history.append(record)
+            self._jlog(
+                "round",
+                round=t,
+                sim_time_s=record.sim_time_s,
+                compute_s=record.compute_s,
+                access_s=record.access_s,
+                aborted=False,
+            )
 
         pipeline = CrossRoundPipeline(
             self.scheduler,
@@ -594,38 +803,69 @@ class FederatedExperiment(ABC):
             merge_event=merge_event,
             round_complete=round_complete,
         )
+        if resume is not None:
+            pipeline.restore_state(resume["pipeline"], self._restore_async_meta)
 
-        for t in range(rounds):
+        for t in range(start, rounds):
             clients, states = self.sample_round(t)
-            costs = self.async_client_costs(t, clients, states)
-            weights = self.async_client_weights(clients, states)
-            ctx = AsyncRoundContext(
-                round_idx=t,
-                clients=clients,
-                states=states,
-                costs=costs,
-                weights=weights,
-                round_weight=float(sum(weights)),
-                extra=self.async_round_extra(t, clients, states),
-            )
-            bottlenecks[t] = (
-                max(costs, key=lambda c: c.total_s) if costs else None
-            )
+            if self._fault_aborted():
+                # The async server never waits on a round barrier: an
+                # aborted round dispatches nothing and costs no clock.
+                self._finish_aborted_round(t, wait=False)
+            else:
+                faults = self._round_faults
+                self._round_faults = None
+                costs = self.async_client_costs(t, clients, states)
+                if faults is not None:
+                    costs = faults.scale_costs(costs)
+                weights = self.async_client_weights(clients, states)
+                ctx = AsyncRoundContext(
+                    round_idx=t,
+                    clients=clients,
+                    states=states,
+                    costs=costs,
+                    weights=weights,
+                    round_weight=float(sum(weights)),
+                    extra=self.async_round_extra(t, clients, states),
+                )
+                bottlenecks[t] = (
+                    max(costs, key=lambda c: c.total_s) if costs else None
+                )
 
-            def fn_factory(ticket, _t=t):
-                # Called after the pre-dispatch merge replay: the server
-                # now sits at this round's base version, so copy it as the
-                # round's immutable training base.
-                base = {k: v.copy() for k, v in server.items()}
-                return self.async_client_fn(_t, base)
+                def fn_factory(ticket, _t=t):
+                    # Called after the pre-dispatch merge replay: the server
+                    # now sits at this round's base version, so copy it as the
+                    # round's immutable training base.
+                    base = {k: v.copy() for k, v in server.items()}
+                    return self.async_client_fn(_t, base)
 
-            pipeline.dispatch(
-                t,
-                list(zip(clients, states)),
-                [c.total_s for c in costs],
-                fn_factory,
-                meta=ctx,
-            )
+                ticket = pipeline.dispatch(
+                    t,
+                    list(zip(clients, states)),
+                    [c.total_s for c in costs],
+                    fn_factory,
+                    meta=ctx,
+                )
+                if ticket is not None:
+                    self._jlog(
+                        "dispatch",
+                        round=t,
+                        base_version=ticket.base_version,
+                        dispatch_time=ticket.dispatch_time,
+                        cids=[c.cid for c in clients],
+                    )
+            if cfg.checkpoint_every and (t + 1) % cfg.checkpoint_every == 0:
+                self._write_checkpoint(
+                    t + 1,
+                    async_state={
+                        "server": {k: v.copy() for k, v in server.items()},
+                        "history_start": history_start,
+                        "base_compute": base_compute,
+                        "base_access": base_access,
+                        "bottlenecks": dict(bottlenecks),
+                        "pipeline": pipeline.export_state(self._export_async_meta),
+                    },
+                )
 
         pipeline.drain_all()
         self._last_pipeline_stats = {
@@ -774,6 +1014,7 @@ class FederatedExperiment(ABC):
         record, pending = self._pending_eval
         self._pending_eval = None
         record.eval = pending.result()
+        self._journal_eval(record)
         if verbose:  # pragma: no cover - console reporting
             self._print_eval(record)
 
@@ -831,32 +1072,268 @@ class FederatedExperiment(ABC):
         self._drain_overlapped_eval()
         self.executor.close()
         self.eval_executor.executor.close()
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    def __enter__(self) -> "FederatedExperiment":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- journalling, checkpointing, resume ------------------------------------
+    def _jlog(self, kind: str, **payload) -> None:
+        """Append one journal event (no-op when journalling is off)."""
+        if self._journal is not None:
+            self._journal.append(kind, **payload)
+
+    def _journal_eval(self, record: RoundRecord) -> None:
+        if record.eval is not None:
+            self._jlog(
+                "eval",
+                round=record.round,
+                clean_acc=record.eval.clean_acc,
+                pgd_acc=record.eval.pgd_acc,
+                aa_acc=record.eval.aa_acc,
+            )
+
+    def _fingerprint(self) -> str:
+        from repro.flsim.checkpoint import config_fingerprint
+
+        return config_fingerprint(self.config, self.name)
+
+    def _open_journal(self) -> None:
+        """Start a fresh journal for this run (if configured, once)."""
+        if self.config.journal_path is None or self._journal is not None:
+            return
+        self._journal = RunJournal.create(self.config.journal_path)
+        self._jlog(
+            "run_start",
+            fingerprint=self._fingerprint(),
+            experiment=self.name,
+            rounds=self.config.rounds,
+            mode=self.config.aggregation_mode,
+        )
+
+    def _abort_cleanup(self) -> None:
+        """Best-effort teardown when the run loop raises.
+
+        An aborted run must not leak the persistent worker pools (the
+        executor context-manager contract), and the journal records the
+        abort so a later read tells a crash (torn tail / no ``run_end``)
+        apart from a Python-level failure.
+        """
+        self._pending_eval = None
+        for closer in (self.executor.close, self.eval_executor.executor.close):
+            try:
+                closer()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        try:
+            self._jlog("run_abort")
+            if self._journal is not None:
+                self._journal.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+        self._journal = None
+
+    def _checkpoint_path(self) -> str:
+        base = (
+            self._journal.path if self._journal is not None
+            else self.config.journal_path
+        )
+        return base + ".ckpt"
+
+    def _write_checkpoint(
+        self, next_round: int, async_state: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Atomically snapshot everything the run loop needs to continue.
+
+        Overlapped eval is drained first (its record is already in the
+        history, so the snapshot must carry the resolved result — eval
+        results are data, not replayable bookkeeping).  ``async_state``
+        carries the async loop's extra bookkeeping; the sync loop
+        snapshots the global model directly.
+        """
+        from repro.flsim.checkpoint import CHECKPOINT_FORMAT, write_checkpoint
+
+        self._drain_overlapped_eval()
+        payload: Dict[str, Any] = {
+            "format": CHECKPOINT_FORMAT,
+            "fingerprint": self._fingerprint(),
+            "next_round": next_round,
+            "mode": self.config.aggregation_mode,
+            "rng_state": self.rng.bit_generator.state,
+            "clock_s": self.clock_s,
+            "total_compute_s": self.total_compute_s,
+            "total_access_s": self.total_access_s,
+            "history": list(self.history),
+            "async_log": list(self.async_log),
+            "global_state": (
+                {k: v.copy() for k, v in self.global_model.state_dict().items()}
+                if async_state is None
+                else None
+            ),
+            "async": async_state,
+        }
+        path = self._checkpoint_path()
+        write_checkpoint(path, payload)
+        self._jlog(
+            "checkpoint", next_round=next_round, path=os.path.basename(path)
+        )
+
+    def _restore_from_checkpoint(self, payload: Dict[str, Any]) -> None:
+        self.rng.bit_generator.state = payload["rng_state"]
+        self.clock_s = payload["clock_s"]
+        self.total_compute_s = payload["total_compute_s"]
+        self.total_access_s = payload["total_access_s"]
+        self.history[:] = payload["history"]
+        self.async_log[:] = payload["async_log"]
+        if payload["async"] is None:
+            self.global_model.load_state_dict(payload["global_state"])
+        else:
+            self._resume_async = payload["async"]
+        self._resume_round = payload["next_round"]
+
+    def _export_async_meta(self, ctx: AsyncRoundContext) -> Dict[str, Any]:
+        """Flatten a round context for pickling (clients/states by id).
+
+        Device states are consumed at dispatch (costs, weights, extra are
+        all derived before training), so the snapshot keeps only what the
+        merge rule reads: client ids, costs, weights, and ``extra``.
+        """
+        return {
+            "round_idx": ctx.round_idx,
+            "cids": [c.cid for c in ctx.clients],
+            "costs": [(c.compute_s, c.access_s) for c in ctx.costs],
+            "weights": list(ctx.weights),
+            "round_weight": ctx.round_weight,
+            "extra": ctx.extra,
+        }
+
+    def _restore_async_meta(self, data: Dict[str, Any]) -> AsyncRoundContext:
+        return AsyncRoundContext(
+            round_idx=data["round_idx"],
+            clients=[self.clients[cid] for cid in data["cids"]],
+            states=[None] * len(data["cids"]),
+            costs=[LocalTrainingCost(*c) for c in data["costs"]],
+            weights=list(data["weights"]),
+            round_weight=data["round_weight"],
+            extra=data["extra"],
+        )
+
+    def resume(
+        self,
+        journal_path: Optional[str] = None,
+        rounds: Optional[int] = None,
+        verbose: bool = False,
+    ) -> List[RoundRecord]:
+        """Continue an interrupted run from its journal's last checkpoint.
+
+        Call on a **freshly constructed** experiment with the same
+        semantic config (the journal's fingerprint is checked; execution
+        backend and worker counts may differ — the determinism contract
+        makes them irrelevant).  Produces bit-identical final weights,
+        history, and merge log to the uninterrupted run.  A journal with
+        no checkpoint yet simply restarts the (deterministic) run from
+        round zero.
+        """
+        from repro.flsim.checkpoint import read_checkpoint
+
+        if type(self).run is not FederatedExperiment.run:
+            raise RuntimeError(
+                f"{type(self).__name__} overrides run(); resume supports the "
+                f"generic run loop only"
+            )
+        path = journal_path if journal_path is not None else self.config.journal_path
+        if path is None:
+            raise ValueError("resume needs a journal path (argument or config)")
+        if self.history:
+            raise RuntimeError("resume must be called on a fresh experiment")
+        events = RunJournal.read(path)
+        if not events or events[0].get("kind") != "run_start":
+            raise JournalError(f"{path}: journal does not start with run_start")
+        fingerprint = self._fingerprint()
+        if events[0].get("fingerprint") != fingerprint:
+            raise JournalError(
+                f"{path}: journal fingerprint {events[0].get('fingerprint')} "
+                f"does not match this experiment's config ({fingerprint}); "
+                f"only non-semantic fields (backends, worker counts, paths) "
+                f"may change across a resume"
+            )
+        ckpt_event = RunJournal.last_checkpoint(events)
+        if ckpt_event is None:
+            # Crashed before the first checkpoint: the run is deterministic,
+            # so replaying from scratch *is* the resume.
+            return self.run(rounds, verbose)
+        ckpt_path = os.path.join(
+            os.path.dirname(os.path.abspath(path)), ckpt_event["path"]
+        )
+        payload = read_checkpoint(ckpt_path)
+        if payload["fingerprint"] != fingerprint:
+            raise JournalError(
+                f"{ckpt_path}: checkpoint fingerprint does not match this "
+                f"experiment's config"
+            )
+        self._restore_from_checkpoint(payload)
+        self._journal = RunJournal.resume_open(path)
+        self._jlog("resume", next_round=payload["next_round"])
+        return self.run(rounds, verbose)
 
     def run(self, rounds: Optional[int] = None, verbose: bool = False) -> List[RoundRecord]:
         rounds = rounds if rounds is not None else self.config.rounds
-        if self.config.aggregation_mode == "async":
-            return self._run_async(rounds, verbose)
-        for t in range(rounds):
+        self._open_journal()
+        try:
+            if self.config.aggregation_mode == "async":
+                records = self._run_async(rounds, verbose)
+            else:
+                records = self._run_sync(rounds, verbose)
+        except BaseException:
+            self._abort_cleanup()
+            raise
+        self._jlog("run_end", rounds=rounds, clock_s=self.clock_s)
+        return records
+
+    def _run_sync(self, rounds: int, verbose: bool = False) -> List[RoundRecord]:
+        cfg = self.config
+        start = self._resume_round
+        self._resume_round = 0
+        for t in range(start, rounds):
             clients, states = self.sample_round(t)
-            costs = self.run_round(t, clients, states)
-            self.advance_clock(costs)
-            record = RoundRecord(
-                round=t,
-                sim_time_s=self.clock_s,
-                compute_s=self.total_compute_s,
-                access_s=self.total_access_s,
-            )
-            if self.config.eval_every and (t + 1) % self.config.eval_every == 0:
-                if self.overlap_active:
-                    # Double buffer: at most one eval in flight — resolve
-                    # round r-k's shards before publishing round r's.
-                    self._drain_overlapped_eval(verbose)
-                    self._submit_overlapped_eval(record)
-                else:
-                    record.eval = self.evaluate()
-                    if verbose:  # pragma: no cover - console reporting
-                        self._print_eval(record)
-            self.history.append(record)
+            if self._fault_aborted():
+                self._finish_aborted_round(t)
+            else:
+                costs = self.run_round(t, clients, states)
+                self.advance_clock(costs)
+                record = RoundRecord(
+                    round=t,
+                    sim_time_s=self.clock_s,
+                    compute_s=self.total_compute_s,
+                    access_s=self.total_access_s,
+                )
+                if cfg.eval_every and (t + 1) % cfg.eval_every == 0:
+                    if self.overlap_active:
+                        # Double buffer: at most one eval in flight — resolve
+                        # round r-k's shards before publishing round r's.
+                        self._drain_overlapped_eval(verbose)
+                        self._submit_overlapped_eval(record)
+                    else:
+                        record.eval = self.evaluate()
+                        self._journal_eval(record)
+                        if verbose:  # pragma: no cover - console reporting
+                            self._print_eval(record)
+                self.history.append(record)
+                self._jlog(
+                    "round",
+                    round=t,
+                    sim_time_s=record.sim_time_s,
+                    compute_s=record.compute_s,
+                    access_s=record.access_s,
+                    aborted=False,
+                )
+            if cfg.checkpoint_every and (t + 1) % cfg.checkpoint_every == 0:
+                self._write_checkpoint(t + 1)
         self._drain_overlapped_eval(verbose)
         return self.history
 

@@ -1,0 +1,103 @@
+"""Atomic run checkpoints: snapshot, restore, and config fingerprinting.
+
+A checkpoint is one pickle file written **atomically** (tmp file in the
+same directory + ``os.replace``), fsynced before the rename, so a crash
+at any instant leaves either the previous checkpoint or the new one —
+never a torn file.  The payload is assembled by
+:meth:`~repro.flsim.base.FederatedExperiment._write_checkpoint` and holds
+everything the generic run loop needs to continue bit-identically:
+server/model state, the experiment RNG's bit-generator state, the round
+history and async merge log, the simulated clock, and (async mode) the
+cross-round pipeline's full in-flight bookkeeping.
+
+The **config fingerprint** ties journals and checkpoints to the
+*semantics* of a run: a SHA-256 over the config dataclass with the
+non-semantic fields removed — execution backend, worker counts, eval
+overlap, journal/checkpoint paths — because the engine's determinism
+contract guarantees those cannot change results.  Resuming on a
+different backend or worker count is therefore explicitly supported;
+resuming with a different learning rate is explicitly refused.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Any, Dict
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be read or fails validation."""
+
+
+#: The on-disk payload format version (bump on incompatible change).
+CHECKPOINT_FORMAT = 1
+
+#: Config fields that cannot affect results (the bit-identity contract):
+#: execution backends/worker counts, eval overlap, and the journal /
+#: checkpoint plumbing itself.  Everything else is semantic and
+#: fingerprinted.
+NONSEMANTIC_FIELDS = frozenset(
+    {
+        "journal_path",
+        "checkpoint_every",
+        "executor_backend",
+        "round_parallelism",
+        "eval_backend",
+        "eval_parallelism",
+        "overlap_eval",
+    }
+)
+
+
+def config_fingerprint(config: Any, experiment: str) -> str:
+    """Stable hash of a config dataclass's semantic fields + experiment name."""
+    payload = dataclasses.asdict(config)
+    for name in NONSEMANTIC_FIELDS:
+        payload.pop(name, None)
+    payload["experiment"] = experiment
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def write_checkpoint(path: str, payload: Dict[str, Any]) -> None:
+    """Pickle ``payload`` to ``path`` atomically (tmp + fsync + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_checkpoint(path: str) -> Dict[str, Any]:
+    """Load and validate a checkpoint payload."""
+    if not os.path.exists(path):
+        raise CheckpointError(f"checkpoint not found: {path}")
+    try:
+        with open(path, "rb") as f:
+            payload = pickle.load(f)
+    except (pickle.UnpicklingError, EOFError, OSError) as error:
+        raise CheckpointError(f"unreadable checkpoint {path}: {error}") from error
+    if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint format "
+            f"{payload.get('format') if isinstance(payload, dict) else '?'!r} "
+            f"(expected {CHECKPOINT_FORMAT})"
+        )
+    return payload

@@ -106,6 +106,12 @@ class RoundExecutor:
             self._thread_pool.shutdown(wait=True)
             self._thread_pool = None
 
+    def __enter__(self) -> "RoundExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def workers_for(self, num_items: int) -> int:
         """Effective worker count for a round of ``num_items`` work units.
 

@@ -9,10 +9,12 @@ time-to-accuracy, compute/access breakdowns).
 from __future__ import annotations
 
 import csv
+import json
 import os
 from typing import List, Optional, Sequence
 
 from repro.flsim.base import RoundRecord
+from repro.metrics.evaluation import EvalResult
 
 _FIELDS = [
     "round",
@@ -22,6 +24,7 @@ _FIELDS = [
     "clean_acc",
     "pgd_acc",
     "aa_acc",
+    "aborted",
 ]
 
 
@@ -38,9 +41,86 @@ def history_rows(history: Sequence[RoundRecord]) -> List[dict]:
                 "clean_acc": rec.eval.clean_acc if rec.eval else None,
                 "pgd_acc": rec.eval.pgd_acc if rec.eval else None,
                 "aa_acc": rec.eval.aa_acc if rec.eval else None,
+                "aborted": rec.aborted,
             }
         )
     return rows
+
+
+def round_record_to_dict(rec: RoundRecord) -> dict:
+    """Lossless JSON-safe form of one record (inverse of ``from_dict``)."""
+    eval_payload = None
+    if rec.eval is not None:
+        eval_payload = {
+            "clean_acc": rec.eval.clean_acc,
+            "pgd_acc": rec.eval.pgd_acc,
+            "aa_acc": rec.eval.aa_acc,
+            "attack_accs": rec.eval.attack_accs,
+        }
+    return {
+        "round": rec.round,
+        "sim_time_s": rec.sim_time_s,
+        "compute_s": rec.compute_s,
+        "access_s": rec.access_s,
+        "aborted": rec.aborted,
+        "eval": eval_payload,
+    }
+
+
+def round_record_from_dict(data: dict) -> RoundRecord:
+    """Rebuild a :class:`RoundRecord` from :func:`round_record_to_dict`."""
+    eval_payload = data.get("eval")
+    result = None
+    if eval_payload is not None:
+        result = EvalResult(
+            clean_acc=eval_payload.get("clean_acc"),
+            pgd_acc=eval_payload.get("pgd_acc"),
+            aa_acc=eval_payload.get("aa_acc"),
+            attack_accs=eval_payload.get("attack_accs"),
+        )
+    return RoundRecord(
+        round=data["round"],
+        sim_time_s=data["sim_time_s"],
+        compute_s=data["compute_s"],
+        access_s=data["access_s"],
+        eval=result,
+        aborted=data.get("aborted", False),
+    )
+
+
+class RunHistory(List[RoundRecord]):
+    """A round history with lossless JSONL (de)serialization.
+
+    A plain list of :class:`RoundRecord` with one JSON object per round —
+    the journal's line-oriented format, so a history round-trips through
+    the same tooling that reads run journals.
+    """
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line; ``from_jsonl`` inverts it exactly."""
+        return "".join(
+            json.dumps(round_record_to_dict(rec), sort_keys=True) + "\n"
+            for rec in self
+        )
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "RunHistory":
+        history = cls()
+        for line in text.splitlines():
+            if line.strip():
+                history.append(round_record_from_dict(json.loads(line)))
+        return history
+
+    def save(self, path: str) -> None:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_jsonl())
+
+    @classmethod
+    def load(cls, path: str) -> "RunHistory":
+        with open(path, encoding="utf-8") as f:
+            return cls.from_jsonl(f.read())
 
 
 def export_csv(history: Sequence[RoundRecord], path: str) -> None:

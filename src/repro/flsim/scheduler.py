@@ -513,6 +513,82 @@ class CrossRoundPipeline:
         """Apply every outstanding merge event (end of the run loop)."""
         self.advance_to(float("inf"))
 
+    # -- checkpoint support --------------------------------------------------
+    def export_state(self, export_meta: Callable[[Any], Any]) -> Dict[str, Any]:
+        """Snapshot the pipeline's bookkeeping for a checkpoint.
+
+        Barriers on every in-flight ticket's *results* (wall-clock only —
+        the simulated merge schedule is fixed at dispatch, so waiting here
+        cannot change what merges when) and stores the landed updates with
+        each ticket.  The live pipeline keeps running afterwards: landed
+        tickets never touch their task group again
+        (:meth:`_apply_event` only calls ``next_completion`` while a
+        member is un-landed).  ``export_meta`` serialises each ticket's
+        opaque ``meta`` (the experiment's round context).
+        """
+        tickets = []
+        for ticket in self._inflight:
+            if ticket.group is not None and not all(ticket.landed):
+                results = ticket.group.results()
+                ticket.updates = list(results)
+                ticket.landed = [True] * len(results)
+            tickets.append(
+                {
+                    "round_idx": ticket.round_idx,
+                    "dispatch_time": ticket.dispatch_time,
+                    "base_version": ticket.base_version,
+                    "events": [list(e) for e in ticket.events],
+                    "event_times": list(ticket.event_times),
+                    "next_event": ticket.next_event,
+                    "updates": list(ticket.updates),
+                    "meta": export_meta(ticket.meta),
+                }
+            )
+        return {
+            "version": self.version,
+            "peak_in_flight": self.peak_in_flight,
+            "dispatched": self._dispatched,
+            "last_dispatch_time": self._last_dispatch_time,
+            "drain_watermarks": list(self._drain_watermarks),
+            "tickets": tickets,
+        }
+
+    def restore_state(
+        self, state: Dict[str, Any], build_meta: Callable[[Any], Any]
+    ) -> None:
+        """Rebuild a freshly constructed pipeline from a checkpoint snapshot.
+
+        Restored tickets carry their landed updates (``group=None`` — all
+        members landed, so the merge replay never consults the group) and
+        the scalar bookkeeping resumes exactly where the checkpoint left
+        it, so the continuing dispatch/merge schedule is bit-identical to
+        the uninterrupted run's.  ``build_meta`` rehydrates each ticket's
+        round context from ``export_meta``'s output.
+        """
+        if self._dispatched:
+            raise RuntimeError(
+                "restore_state requires a freshly constructed pipeline"
+            )
+        self.version = state["version"]
+        self.peak_in_flight = state["peak_in_flight"]
+        self._dispatched = state["dispatched"]
+        self._last_dispatch_time = state["last_dispatch_time"]
+        self._drain_watermarks = list(state["drain_watermarks"])
+        for data in state["tickets"]:
+            ticket = AsyncRoundTicket(
+                round_idx=data["round_idx"],
+                dispatch_time=data["dispatch_time"],
+                base_version=data["base_version"],
+                events=[list(e) for e in data["events"]],
+                event_times=list(data["event_times"]),
+                meta=build_meta(data["meta"]),
+                group=None,
+                next_event=data["next_event"],
+                landed=[True] * len(data["updates"]),
+                updates=list(data["updates"]),
+            )
+            self._inflight.append(ticket)
+
     # -- internals ---------------------------------------------------------
     def _next_ready(self, time_limit: float) -> Optional[AsyncRoundTicket]:
         best: Optional[AsyncRoundTicket] = None

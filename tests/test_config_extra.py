@@ -41,5 +41,6 @@ class TestFedProphetConfigDefaults:
         assert cfg2.attack_steps_features == 3
 
     def test_inherits_fl_validation(self):
-        with pytest.raises(ValueError):
-            FedProphetConfig(num_clients=2, clients_per_round=5)
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            cfg = FedProphetConfig(num_clients=2, clients_per_round=5)
+        assert cfg.clients_per_round == 2

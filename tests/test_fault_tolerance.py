@@ -1,0 +1,552 @@
+"""Crash tolerance: run journal, checkpoint/resume, seeded fault injection.
+
+Load-bearing properties (PR 6):
+
+* a run interrupted at a round boundary and resumed from its journal's
+  last checkpoint produces **bit-identical** final weights, history, and
+  merge-event log to the uninterrupted run — in sync, async, and
+  ``pipeline_depth>=2`` modes, resuming on any backend at any worker
+  count (the checkpoint stores no execution-engine state);
+* the journal is an append-only JSONL log that tolerates a torn final
+  line (the SIGKILL artefact) and refuses malformed lines elsewhere;
+* fault injection is deterministic: the same :class:`FaultPlan` seed
+  yields bit-identical surviving-cohort aggregation across backends and
+  worker counts, and a disabled plan reproduces the fault-free engine
+  exactly (the fault RNG is a separate stream);
+* rounds degrade gracefully: dropped clients reweight the aggregation
+  over the survivors, stragglers/retries stretch the simulated clock,
+  and a cohort below ``min_clients_per_round`` aborts the round
+  deterministically without touching the model.
+"""
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import JointFAT
+from repro.core import FedProphet, FedProphetConfig
+from repro.data import make_cifar10_like
+from repro.flsim import (
+    CheckpointError,
+    FaultPlan,
+    FLConfig,
+    JournalError,
+    RoundExecutor,
+    RunJournal,
+    read_checkpoint,
+)
+from repro.hardware import DeviceSampler, device_pool
+from repro.models import build_cnn
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _task():
+    return make_cifar10_like(image_size=8, train_per_class=20, test_per_class=10, seed=0)
+
+
+def _builder(rng):
+    return build_cnn(3, 10, (3, 8, 8), base_channels=4, rng=rng)
+
+
+def _sampler():
+    return DeviceSampler(device_pool("cifar10"), "unbalanced")
+
+
+def _cfg(cls=FLConfig, **overrides):
+    defaults = dict(
+        num_clients=5, clients_per_round=3, local_iters=2, batch_size=8,
+        lr=0.02, rounds=5, train_pgd_steps=2, eval_pgd_steps=2,
+        eval_every=0, eval_max_samples=24, seed=0,
+    )
+    if cls is FedProphetConfig:
+        defaults.update(rounds_per_module=2, patience=5, r_min_fraction=0.4,
+                        val_samples=16, val_pgd_steps=2)
+    defaults.update(overrides)
+    return cls(**defaults)
+
+
+def _state(exp):
+    return {k: v.copy() for k, v in exp.global_model.state_dict().items()}
+
+
+def _assert_states_equal(a, b, label=""):
+    assert set(a) == set(b)
+    for k in a:
+        np.testing.assert_array_equal(a[k], b[k], err_msg=f"{label}{k}")
+
+
+def _assert_runs_equal(ref, exp):
+    _assert_states_equal(_state(ref), _state(exp))
+    assert len(ref.history) == len(exp.history)
+    for x, y in zip(ref.history, exp.history):
+        assert (x.round, x.sim_time_s, x.compute_s, x.access_s, x.aborted) == (
+            y.round, y.sim_time_s, y.compute_s, y.access_s, y.aborted
+        )
+        if x.eval is None:
+            assert y.eval is None
+        else:
+            assert x.eval.as_dict() == y.eval.as_dict()
+    assert ref.async_log == exp.async_log
+
+
+# ---------------------------------------------------------------------------
+# Journal format
+# ---------------------------------------------------------------------------
+
+
+class TestRunJournal:
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        journal = RunJournal.create(path)
+        journal.append("run_start", fingerprint="abc", rounds=3)
+        journal.append("round", round=0, sim_time_s=1.5)
+        journal.close()
+        events = RunJournal.read(path)
+        assert [e["kind"] for e in events] == ["run_start", "round"]
+        assert [e["seq"] for e in events] == [0, 1]
+        assert events[1]["sim_time_s"] == 1.5
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        journal = RunJournal.create(path)
+        journal.append("run_start", fingerprint="abc")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"seq": 1, "kind": "rou')  # SIGKILL mid-write
+        events = RunJournal.read(path)
+        assert [e["kind"] for e in events] == ["run_start"]
+
+    def test_malformed_middle_line_rejected(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write('{"seq": 0, "kind": "run_start"}\nnot json\n{"seq": 2}\n')
+        with pytest.raises(JournalError, match="malformed"):
+            RunJournal.read(path)
+
+    def test_resume_open_continues_seq(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        journal = RunJournal.create(path)
+        journal.append("run_start")
+        journal.append("round", round=0)
+        journal.close()
+        journal = RunJournal.resume_open(path)
+        journal.append("resume", next_round=1)
+        journal.close()
+        assert [e["seq"] for e in RunJournal.read(path)] == [0, 1, 2]
+
+    def test_resume_open_requires_file(self, tmp_path):
+        with pytest.raises(JournalError, match="not found"):
+            RunJournal.resume_open(str(tmp_path / "missing.jsonl"))
+
+    def test_run_journal_records_lifecycle(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        exp = JointFAT(_task(), _builder, _cfg(rounds=2, eval_every=2,
+                                               journal_path=path))
+        exp.run()
+        exp.close()
+        kinds = [e["kind"] for e in RunJournal.read(path)]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert kinds.count("sample") == 2
+        assert kinds.count("round") == 2
+        assert "eval" in kinds
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / resume bit-identity
+# ---------------------------------------------------------------------------
+
+MODES = [
+    pytest.param(dict(), id="sync"),
+    pytest.param(dict(aggregation_mode="async", max_staleness=2), id="async"),
+    pytest.param(
+        dict(aggregation_mode="async", max_staleness=2, pipeline_depth=2),
+        id="pipeline2",
+    ),
+]
+
+RESUME_ENGINES = [("serial", None), ("thread", 2), ("thread", 4)] + (
+    [("process", 2)] if HAS_FORK else []
+)
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_resume_is_bit_identical(self, tmp_path, mode):
+        ref = JointFAT(_task(), _builder, _cfg(**mode))
+        ref.run()
+        ref.close()
+
+        path = str(tmp_path / "run.jsonl")
+        interrupted = JointFAT(
+            _task(), _builder, _cfg(journal_path=path, checkpoint_every=2, **mode)
+        )
+        interrupted.run(rounds=3)  # dies after round 3; checkpoint at round 2
+        interrupted.close()
+
+        resumed = JointFAT(
+            _task(), _builder, _cfg(journal_path=path, checkpoint_every=2, **mode)
+        )
+        resumed.resume(path)
+        _assert_runs_equal(ref, resumed)
+        resumed.close()
+        events = RunJournal.read(path)
+        kinds = [e["kind"] for e in events]
+        assert "resume" in kinds and kinds[-1] == "run_end"
+
+    @pytest.mark.parametrize("backend,workers", RESUME_ENGINES)
+    def test_resume_on_any_backend(self, tmp_path, backend, workers):
+        """The checkpoint carries no engine state: resume anywhere."""
+        mode = dict(aggregation_mode="async", max_staleness=2, pipeline_depth=2)
+        ref = JointFAT(_task(), _builder, _cfg(**mode))
+        ref.run()
+        ref.close()
+
+        path = str(tmp_path / "run.jsonl")
+        interrupted = JointFAT(
+            _task(), _builder, _cfg(journal_path=path, checkpoint_every=2, **mode)
+        )
+        interrupted.run(rounds=3)
+        interrupted.close()
+
+        resumed = JointFAT(
+            _task(), _builder,
+            _cfg(journal_path=path, checkpoint_every=2,
+                 executor_backend=backend, round_parallelism=workers, **mode),
+        )
+        resumed.resume(path)
+        _assert_runs_equal(ref, resumed)
+        resumed.close()
+
+    def test_resume_without_checkpoint_replays_from_scratch(self, tmp_path):
+        ref = JointFAT(_task(), _builder, _cfg(rounds=3))
+        ref.run()
+        ref.close()
+
+        path = str(tmp_path / "run.jsonl")
+        interrupted = JointFAT(_task(), _builder, _cfg(rounds=3, journal_path=path))
+        interrupted.run(rounds=1)  # no checkpoint_every: journal only
+        interrupted.close()
+
+        resumed = JointFAT(_task(), _builder, _cfg(rounds=3, journal_path=path))
+        resumed.resume(path)
+        _assert_runs_equal(ref, resumed)
+        resumed.close()
+
+    def test_checkpoint_file_is_valid_and_atomic(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        exp = JointFAT(_task(), _builder,
+                       _cfg(rounds=2, journal_path=path, checkpoint_every=1))
+        exp.run()
+        exp.close()
+        payload = read_checkpoint(path + ".ckpt")
+        assert payload["next_round"] == 2
+        assert payload["mode"] == "sync"
+        assert not [p for p in os.listdir(str(tmp_path)) if p.endswith(".tmp")]
+
+    def test_unreadable_checkpoint_raises(self, tmp_path):
+        bad = str(tmp_path / "bad.ckpt")
+        with open(bad, "wb") as f:
+            f.write(b"garbage")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(bad)
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        exp = JointFAT(_task(), _builder,
+                       _cfg(journal_path=path, checkpoint_every=2))
+        exp.run(rounds=3)
+        exp.close()
+        other = JointFAT(_task(), _builder,
+                         _cfg(lr=0.05, journal_path=path, checkpoint_every=2))
+        with pytest.raises(JournalError, match="fingerprint"):
+            other.resume(path)
+        other.close()
+
+    def test_nonsemantic_field_change_allowed(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        exp = JointFAT(_task(), _builder,
+                       _cfg(journal_path=path, checkpoint_every=2))
+        exp.run(rounds=3)
+        exp.close()
+        resumed = JointFAT(
+            _task(), _builder,
+            _cfg(journal_path=path, checkpoint_every=2,
+                 executor_backend="thread", round_parallelism=2),
+        )
+        resumed.resume(path)  # no JournalError: backend is non-semantic
+        assert len(resumed.history) == 5
+        resumed.close()
+
+    def test_resume_requires_fresh_experiment(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        exp = JointFAT(_task(), _builder,
+                       _cfg(journal_path=path, checkpoint_every=2))
+        exp.run(rounds=3)
+        with pytest.raises(RuntimeError, match="fresh"):
+            exp.resume(path)
+        exp.close()
+
+    def test_fedprophet_refuses_resume_and_checkpointing(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with pytest.raises(ValueError, match="checkpoint"):
+            FedProphet(
+                _task(), _builder,
+                _cfg(FedProphetConfig, journal_path=path, checkpoint_every=1),
+            )
+        exp = FedProphet(_task(), _builder, _cfg(FedProphetConfig))
+        with pytest.raises(RuntimeError, match="resume"):
+            exp.resume(path)
+        exp.close()
+
+    def test_checkpoint_every_requires_journal(self):
+        with pytest.raises(ValueError, match="journal_path"):
+            _cfg(checkpoint_every=2)
+
+    def test_fedprophet_journals_its_cascade_loop(self, tmp_path):
+        path = str(tmp_path / "prophet.jsonl")
+        exp = FedProphet(_task(), _builder,
+                         _cfg(FedProphetConfig, rounds=2, journal_path=path))
+        exp.run()
+        exp.close()
+        kinds = [e["kind"] for e in RunJournal.read(path)]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert kinds.count("round") == 2
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="dropout_prob"):
+            FaultPlan(dropout_prob=1.5)
+        with pytest.raises(ValueError, match="exceed 1"):
+            FaultPlan(dropout_prob=0.6, straggler_prob=0.3, flaky_prob=0.3)
+        with pytest.raises(ValueError, match="straggler_slowdown"):
+            FaultPlan(straggler_slowdown=0.5)
+        assert not FaultPlan(seed=9).active
+        assert FaultPlan(dropout_prob=0.1).active
+
+    def test_outcome_is_deterministic(self):
+        plan = FaultPlan(seed=3, dropout_prob=0.3, straggler_prob=0.3, flaky_prob=0.3)
+        for r in range(5):
+            for cid in range(8):
+                a = plan.outcome(r, cid, max_retries=2)
+                b = plan.outcome(r, cid, max_retries=2)
+                assert a == b
+
+    def test_flaky_retries_bounded_with_backoff(self):
+        plan = FaultPlan(seed=0, flaky_prob=1.0, retry_success_prob=0.0,
+                         backoff_base_s=2.0)
+        oc = plan.outcome(0, 0, max_retries=3)
+        assert oc.kind == "flaky" and not oc.survived
+        assert oc.attempts == 4  # first try + 3 retries
+        assert oc.extra_delay_s == 2.0 + 4.0 + 8.0
+        assert plan.outcome(0, 0, max_retries=0).attempts == 1
+
+    def test_json_round_trip_and_parse(self, tmp_path):
+        plan = FaultPlan(seed=5, dropout_prob=0.2, flaky_prob=0.1)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert FaultPlan.parse(plan.to_json()) == plan
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert FaultPlan.parse(str(path)) == plan
+        with pytest.raises(ValueError, match="neither"):
+            FaultPlan.parse(str(tmp_path / "missing.json"))
+
+    def test_timeout_drops_slow_clients(self):
+        plan = FaultPlan(seed=0, straggler_prob=1.0, straggler_slowdown=10.0)
+        faults = plan.plan_round(
+            0, [0, 1, 2], [1.0, 1.0, 1.0],
+            client_timeout=5.0, max_retries=2, min_clients=1,
+        )
+        assert faults.survivors == []
+        assert all(oc.timed_out for oc in faults.outcomes)
+        assert faults.aborted and faults.timeout_floor_s == 5.0
+
+
+class TestFaultInjection:
+    PLAN = FaultPlan(seed=7, dropout_prob=0.3, straggler_prob=0.2, flaky_prob=0.2)
+
+    ENGINES = [("serial", None), ("thread", 4)] + ([("process", 2)] if HAS_FORK else [])
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_deterministic_across_engines(self, mode):
+        runs = []
+        for backend, workers in self.ENGINES:
+            exp = JointFAT(
+                _task(), _builder,
+                _cfg(fault_plan=self.PLAN, executor_backend=backend,
+                     round_parallelism=workers, **mode),
+                device_sampler=_sampler(),
+            )
+            exp.run()
+            runs.append(exp)
+            exp.close()
+        for other in runs[1:]:
+            _assert_runs_equal(runs[0], other)
+
+    def test_disabled_plan_reproduces_fault_free_run(self):
+        plain = JointFAT(_task(), _builder, _cfg())
+        plain.run()
+        plain.close()
+        inactive = JointFAT(_task(), _builder, _cfg(fault_plan=FaultPlan(seed=3)))
+        inactive.run()
+        inactive.close()
+        _assert_runs_equal(plain, inactive)
+
+    def test_dropout_reweights_over_survivors(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        exp = JointFAT(
+            _task(), _builder,
+            _cfg(fault_plan=FaultPlan(seed=7, dropout_prob=0.4),
+                 journal_path=path),
+        )
+        exp.run()
+        exp.close()
+        events = RunJournal.read(path)
+        dropped = [e for e in events if e["kind"] == "faults" and e["dropped"]]
+        assert dropped, "seed 7 at 40% dropout must drop somebody in 5 rounds"
+        by_round = {e["round"]: e for e in events if e["kind"] == "sample"}
+        for fault_event in dropped:
+            cohort = by_round[fault_event["round"]]["cids"]
+            assert not set(cohort) & set(fault_event["dropped"])
+            assert len(cohort) == 3 - len(fault_event["dropped"])
+
+    def test_all_dropout_aborts_without_touching_model(self):
+        exp = JointFAT(_task(), _builder, _cfg(fault_plan=FaultPlan(dropout_prob=1.0)))
+        before = _state(exp)
+        history = exp.run()
+        exp.close()
+        assert all(rec.aborted for rec in history)
+        _assert_states_equal(before, _state(exp))
+
+    def test_min_clients_threshold_aborts_deterministically(self):
+        plan = FaultPlan(seed=0, dropout_prob=0.5)
+        a = JointFAT(_task(), _builder, _cfg(fault_plan=plan, min_clients_per_round=2))
+        b = JointFAT(_task(), _builder, _cfg(fault_plan=plan, min_clients_per_round=2))
+        ha, hb = a.run(), b.run()
+        a.close()
+        b.close()
+        aborts = [rec.aborted for rec in ha]
+        assert aborts == [rec.aborted for rec in hb]
+        assert any(aborts) and not all(aborts)
+
+    def test_stragglers_stretch_the_clock(self):
+        plain = JointFAT(_task(), _builder, _cfg(), device_sampler=_sampler())
+        plain.run()
+        plain.close()
+        slow = JointFAT(
+            _task(), _builder,
+            _cfg(fault_plan=FaultPlan(straggler_prob=1.0, straggler_slowdown=4.0)),
+            device_sampler=_sampler(),
+        )
+        slow.run()
+        slow.close()
+        assert slow.clock_s == pytest.approx(4.0 * plain.clock_s)
+        _assert_states_equal(_state(plain), _state(slow))  # latency-only fault
+
+    def test_sync_timeout_waits_then_drops(self):
+        plan = FaultPlan(seed=0, straggler_prob=1.0, straggler_slowdown=1e6)
+        exp = JointFAT(
+            _task(), _builder,
+            _cfg(fault_plan=plan, client_timeout=1e-4, min_clients_per_round=1),
+            device_sampler=_sampler(),
+        )
+        history = exp.run()
+        exp.close()
+        assert all(rec.aborted for rec in history)
+        # The synchronous server waits out client_timeout per aborted round.
+        assert exp.clock_s == pytest.approx(1e-4 * len(history))
+
+    def test_faults_compose_with_resume(self, tmp_path):
+        mode = dict(aggregation_mode="async", max_staleness=2, pipeline_depth=2)
+        plan = FaultPlan(seed=7, dropout_prob=0.3, straggler_prob=0.2)
+        ref = JointFAT(_task(), _builder, _cfg(fault_plan=plan, **mode),
+                       device_sampler=_sampler())
+        ref.run()
+        ref.close()
+        path = str(tmp_path / "run.jsonl")
+        interrupted = JointFAT(
+            _task(), _builder,
+            _cfg(fault_plan=plan, journal_path=path, checkpoint_every=2, **mode),
+            device_sampler=_sampler(),
+        )
+        interrupted.run(rounds=3)
+        interrupted.close()
+        resumed = JointFAT(
+            _task(), _builder,
+            _cfg(fault_plan=plan, journal_path=path, checkpoint_every=2, **mode),
+            device_sampler=_sampler(),
+        )
+        resumed.resume(path)
+        _assert_runs_equal(ref, resumed)
+        resumed.close()
+
+    def test_fedprophet_survives_aborted_rounds(self):
+        exp = FedProphet(
+            _task(), _builder,
+            _cfg(FedProphetConfig, rounds=4,
+                 fault_plan=FaultPlan(seed=11, dropout_prob=0.5),
+                 min_clients_per_round=3),
+        )
+        history = exp.run()
+        exp.close()
+        assert len(history) == 4
+        assert any(rec.aborted for rec in history)
+
+
+# ---------------------------------------------------------------------------
+# Satellites: executor context manager, pool shutdown on abort, clamping
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycleSatellites:
+    def test_round_executor_context_manager(self):
+        with RoundExecutor("thread", max_workers=2) as ex:
+            assert ex.thread_pool is not None
+        assert ex._thread_pool is None
+
+    def test_experiment_context_manager(self):
+        with JointFAT(_task(), _builder, _cfg(rounds=1)) as exp:
+            exp.run()
+        assert exp.executor._thread_pool is None
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_aborted_run_releases_pools(self, mode):
+        class Exploding(JointFAT):
+            def async_client_fn(self, round_idx, base_state):
+                if round_idx == 1:
+                    raise RuntimeError("boom")
+                return super().async_client_fn(round_idx, base_state)
+
+            def run_round(self, round_idx, clients, states):
+                if round_idx == 1:
+                    raise RuntimeError("boom")
+                return super().run_round(round_idx, clients, states)
+
+        exp = Exploding(
+            _task(), _builder,
+            _cfg(executor_backend="thread", round_parallelism=2, **mode),
+        )
+        pool = exp.executor.thread_pool  # force-create the persistent pool
+        with pytest.raises(RuntimeError, match="boom"):
+            exp.run()
+        assert exp.executor._thread_pool is None
+        assert pool._shutdown
+
+    def test_clients_per_round_clamps_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            cfg = _cfg(num_clients=3, clients_per_round=7, rounds=1)
+        assert cfg.clients_per_round == 3
+        exp = JointFAT(_task(), _builder, cfg)
+        history = exp.run()
+        exp.close()
+        assert len(history) == 1

@@ -157,7 +157,8 @@ class TestFederatedExperiment:
         assert all(0.0 <= e.clean_acc <= 1.0 for e in evals)
 
     def test_config_validation(self):
-        with pytest.raises(ValueError):
-            FLConfig(num_clients=2, clients_per_round=5)
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            cfg = FLConfig(num_clients=2, clients_per_round=5)
+        assert cfg.clients_per_round == 2
         with pytest.raises(ValueError):
             FLConfig(lr_decay=0.0)

@@ -6,7 +6,15 @@ import numpy as np
 import pytest
 
 from repro.flsim.base import RoundRecord
-from repro.flsim.history import best_round, export_csv, history_rows, time_to_accuracy
+from repro.flsim.history import (
+    RunHistory,
+    best_round,
+    export_csv,
+    history_rows,
+    round_record_from_dict,
+    round_record_to_dict,
+    time_to_accuracy,
+)
 from repro.metrics.evaluation import EvalResult
 
 
@@ -51,6 +59,43 @@ class TestTimeToAccuracy:
 
     def test_ignores_rounds_without_eval(self):
         assert time_to_accuracy(_history(), 0.0) == 20.0
+
+
+class TestRunHistorySerialization:
+    def test_jsonl_round_trip_is_lossless(self):
+        history = RunHistory(_history())
+        history.append(
+            RoundRecord(4, 50.0, 40.0, 10.0, aborted=True)
+        )
+        history[3].eval = EvalResult(0.45, 0.3, 0.28, attack_accs={"pgd20": 0.3})
+        restored = RunHistory.from_jsonl(history.to_jsonl())
+        assert restored == history
+
+    def test_record_dict_round_trip(self):
+        for rec in _history():
+            assert round_record_from_dict(round_record_to_dict(rec)) == rec
+
+    def test_jsonl_is_one_object_per_line(self):
+        text = RunHistory(_history()).to_jsonl()
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(line.startswith("{") for line in lines)
+
+    def test_save_load_round_trip(self, tmp_path):
+        history = RunHistory(_history())
+        path = str(tmp_path / "out" / "history.jsonl")
+        history.save(path)
+        assert RunHistory.load(path) == history
+
+    def test_missing_aborted_field_defaults_false(self):
+        restored = RunHistory.from_jsonl(
+            '{"round": 0, "sim_time_s": 1.0, "compute_s": 0.5, '
+            '"access_s": 0.5, "eval": null}\n'
+        )
+        assert restored[0].aborted is False
+
+    def test_empty_round_trip(self):
+        assert RunHistory.from_jsonl(RunHistory().to_jsonl()) == RunHistory()
 
 
 class TestBestRound:
