@@ -51,6 +51,11 @@ same synchronous run bare vs journalled-and-checkpointed.  The
 journalled run must be **bit-identical** to the bare one (hard failure)
 and its wall-clock overhead is gated at ≤5 %.
 
+A ninth section benchmarks the **robust-aggregation layer** (PR 7): the
+same synchronous run under ``aggregation_rule`` = ``fedavg`` vs
+``median`` vs ``trimmed_mean``; the robust rules' wall-clock overhead
+is gated at ≤10 % of the FedAvg run.
+
 ``BENCH_PERF.json`` (repo root) keeps a **history**: one entry per run,
 keyed by git SHA + date + runner core count, so the perf trajectory
 across PRs stays visible; a metric dropping more than 20 % against the
@@ -598,6 +603,62 @@ def bench_fault_tolerance(params: dict) -> Dict[str, dict]:
     return out
 
 
+def bench_robust_agg(params: dict) -> Dict[str, dict]:
+    """The robust-aggregation layer: median / trimmed-mean vs FedAvg.
+
+    The same short synchronous jFAT run under ``aggregation_rule`` =
+    ``fedavg`` (the historical weighted average), ``median``, and
+    ``trimmed_mean``.  The robust statistic replaces one vectorised
+    average per round — a cold path next to local training — so its
+    wall-clock overhead is gated at <= 10% of the FedAvg run
+    (``docs/threat-model.md``).
+    """
+    from repro.baselines import JointFAT
+    from repro.flsim import FLConfig
+
+    rounds = params["pipeline_rounds"] + 2
+    rules = ("fedavg", "median", "trimmed_mean")
+
+    def build(rule: str) -> JointFAT:
+        task = make_cifar10_like(
+            image_size=8, train_per_class=params["train_per_class"],
+            test_per_class=10, seed=0,
+        )
+        cfg = FLConfig(
+            num_clients=6, clients_per_round=3,
+            local_iters=params["local_iters"], batch_size=32, lr=0.05,
+            rounds=rounds, train_pgd_steps=2, eval_pgd_steps=2, eval_every=0,
+            seed=0, aggregation_rule=rule,
+        )
+        return JointFAT(
+            task,
+            lambda rng: build_vgg("vgg11", 10, (3, 8, 8), width_mult=0.25, rng=rng),
+            cfg,
+        )
+
+    out: Dict[str, dict] = {"cpus": os.cpu_count() or 1, "rounds": rounds}
+    best = {rule: float("inf") for rule in rules}
+    # Interleave the rules (rotating which goes first) so machine-load
+    # drift hits all of them equally: the gate compares near-equal times,
+    # same as the fault-tolerance overhead gate.
+    for rep in range(max(params["reps"], 5)):
+        order = rules[rep % len(rules):] + rules[:rep % len(rules)]
+        for rule in order:
+            exp = build(rule)
+            t0 = time.perf_counter()
+            exp.run()
+            best[rule] = min(best[rule], time.perf_counter() - t0)
+            exp.close()
+    for rule in rules:
+        out[rule] = {
+            "seconds": best[rule], "rounds_per_sec": rounds / best[rule],
+        }
+    out["overhead_frac"] = {
+        rule: best[rule] / best["fedavg"] - 1.0 for rule in rules[1:]
+    }
+    return out
+
+
 def run_mode(mode: str, params: dict) -> Dict[str, dict]:
     spec = MODES[mode]
     previous = set_fast_path(spec["fast_path"])
@@ -659,6 +720,10 @@ def _flat_metrics(entry: dict) -> Dict[str, float]:
         rec = entry.get("fault_tolerance", {}).get(variant)
         if rec is not None:
             out[f"fault_tolerance.{variant}"] = rec["rounds_per_sec"]
+    for variant in ("fedavg", "median", "trimmed_mean"):
+        rec = entry.get("robust_agg", {}).get(variant)
+        if rec is not None:
+            out[f"robust_agg.{variant}"] = rec["rounds_per_sec"]
     return out
 
 
@@ -881,6 +946,30 @@ def main() -> dict:
     )
     print(f"journal+checkpoint overhead: {ft['overhead_frac'] * 100:.1f}%")
 
+    # Robust aggregation: median / trimmed-mean vs the FedAvg reference.
+    previous_fast = set_fast_path(True)
+    try:
+        report["robust_agg"] = bench_robust_agg(params)
+    finally:
+        set_fast_path(previous_fast)
+    ra = report["robust_agg"]
+    print(
+        format_table(
+            ["rule", "seconds", "rounds/s", "overhead"],
+            [
+                (
+                    rule,
+                    f"{ra[rule]['seconds']:.3f}",
+                    f"{ra[rule]['rounds_per_sec']:.2f}",
+                    "-" if rule == "fedavg"
+                    else f"{ra['overhead_frac'][rule] * 100:.1f}%",
+                )
+                for rule in ("fedavg", "median", "trimmed_mean")
+            ],
+            title=f"Robust aggregation ({ra['rounds']} rounds, sync jFAT)",
+        )
+    )
+
     out_path = Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
     history = _load_history(out_path)
     for warning in _check_regressions(history, report):
@@ -936,6 +1025,11 @@ def main() -> dict:
             "fault_tolerance journal+checkpoint overhead "
             f"{ft['overhead_frac'] * 100:.1f}% > 5%"
         )
+    for rule, frac in ra["overhead_frac"].items():
+        if frac > 0.10:
+            failures.append(
+                f"robust_agg {rule} overhead {frac * 100:.1f}% > 10% vs fedavg"
+            )
     for msg in failures:
         if enforce:
             raise SystemExit(f"FAIL: {msg}")

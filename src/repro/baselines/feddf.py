@@ -15,7 +15,6 @@ import numpy as np
 from repro.attacks.pgd import PGDConfig
 from repro.baselines.distill import distill
 from repro.data.partition import public_private_split
-from repro.flsim.aggregation import weighted_average_states
 from repro.flsim.base import FederatedExperiment, FLClient, FLConfig
 from repro.flsim.local import adversarial_local_train
 from repro.hardware.devices import DeviceSampler, DeviceState
@@ -112,14 +111,19 @@ class FedDFAT(FederatedExperiment):
                 weight_decay=cfg.weight_decay,
                 rng=self._client_rng(round_idx, client.cid),
             )
-            per_arch[arch].append((model.state_dict(), client.num_samples))
+            update = self._maybe_poison_update(
+                round_idx, client.cid, model.state_dict(), snapshots[arch]
+            )
+            per_arch[arch].append((update, client.num_samples))
             costs.append(self._cost(dev, arch))
 
         for arch, updates in per_arch.items():
             if updates:
                 self.prototypes[arch].load_state_dict(
-                    weighted_average_states(
-                        [s for s, _ in updates], [float(n) for _, n in updates]
+                    self.robust_aggregate(
+                        [s for s, _ in updates],
+                        [float(n) for _, n in updates],
+                        base=snapshots[arch],
                     )
                 )
             else:

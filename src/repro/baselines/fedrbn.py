@@ -30,12 +30,11 @@ import numpy as np
 from repro.attacks import ModelWithLoss, PGDConfig, pgd_attack
 from repro.core.aggregator import (
     blend_into,
-    merge_async_update,
     restore_segment,
     snapshot_segment,
 )
 from repro.data.dataset import DataLoader
-from repro.flsim.aggregation import weighted_average_states
+from repro.flsim.aggregation import AggregationError, weighted_average_states
 from repro.flsim.base import FederatedExperiment, FLClient, FLConfig
 from repro.flsim.local import standard_local_train
 from repro.hardware.devices import DeviceSampler, DeviceState
@@ -183,7 +182,11 @@ class FedRBN(FederatedExperiment):
             is_at = self._train_one(model, client, dev, lr_t, rng)
             return snapshot_segment(model, 0, num_atoms), is_at, self._cost(dev, is_at)
 
-        results = self.scheduler.run_group("train", train_client, list(zip(clients, states)))
+        results = self.scheduler.run_group(
+            "train",
+            self._threat_wrap(round_idx, train_client, global_snap),
+            list(zip(clients, states)),
+        )
         all_states = [r[0] for r in results]
         sizes = [client.num_samples for client in clients]
         costs = [r[2] for r in results]
@@ -194,11 +197,20 @@ class FedRBN(FederatedExperiment):
             if is_at
         ]
 
-        merged = weighted_average_states(all_states, [float(n) for n in sizes])
+        # The robust rule covers weights + clean statistics (the same key
+        # set the async merge rule robustifies, so ms=0 stays bit-equal);
+        # adversarial BN statistics follow the propagation rule below.
+        adv_keys = set(self._adv_stat_keys)
+        plain_keys = [k for k in global_snap if k not in adv_keys]
+        merged = self.robust_aggregate(
+            all_states, [float(n) for n in sizes], keys=plain_keys, base=global_snap
+        )
         # Robustness propagation: adversarial BN statistics come only from
         # the clients that actually ran adversarial training.
         if at_states:
-            adv_merged = weighted_average_states(at_states, [float(n) for n in at_sizes])
+            adv_merged = weighted_average_states(
+                at_states, [float(n) for n in at_sizes], keys=self._adv_stat_keys
+            )
             for key in self._adv_stat_keys:
                 merged[key] = adv_merged[key]
         else:
@@ -255,8 +267,13 @@ class FedRBN(FederatedExperiment):
         weights = [ctx.weights[i] for i in members]
         adv_keys = set(self._adv_stat_keys)
         plain_keys = [k for k in server if k not in adv_keys]
-        alpha = merge_async_update(
-            server, updates, weights, ctx.round_weight, staleness, keys=plain_keys
+        if ctx.round_weight <= 0:
+            raise AggregationError("round weight must be positive")
+        merged = self.robust_aggregate(
+            updates, weights, keys=plain_keys, base=server
+        )
+        alpha = blend_into(
+            server, merged, (float(sum(weights)) / ctx.round_weight) / (1.0 + staleness)
         )
         at_flags = ctx.extra["at"]
         at_round_weight = ctx.extra["at_weight"]

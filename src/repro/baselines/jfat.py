@@ -29,7 +29,6 @@ import numpy as np
 
 from repro.attacks.pgd import PGDConfig
 from repro.core.aggregator import restore_segment, snapshot_segment
-from repro.flsim.aggregation import fedavg
 from repro.flsim.base import (
     AsyncMergeEvent,
     FederatedExperiment,
@@ -127,12 +126,16 @@ class JointFAT(FederatedExperiment):
         global_snap = snapshot_segment(self.global_model, 0, num_atoms)
         local_states = self.scheduler.run_group(
             "train",
-            self._train_client_fn(round_idx, global_snap),
+            self._threat_wrap(
+                round_idx, self._train_client_fn(round_idx, global_snap), global_snap
+            ),
             list(zip(clients, states)),
         )
-        sizes = [client.num_samples for client in clients]
-        # fedavg covers every key, so no restore of the round snapshot needed
-        self.global_model.load_state_dict(fedavg(local_states, sizes))
+        weights = [float(client.num_samples) for client in clients]
+        # the merge covers every key, so no restore of the round snapshot needed
+        self.global_model.load_state_dict(
+            self.robust_aggregate(local_states, weights, base=global_snap)
+        )
         return [self._cost(dev) for dev in states]
 
     # -- asynchronous aggregation hooks ------------------------------------

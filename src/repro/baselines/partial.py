@@ -23,7 +23,6 @@ import numpy as np
 from repro.attacks.pgd import PGDConfig
 from repro.baselines.subnet import extract_submodel, scatter_submodel_state
 from repro.core.aggregator import blend_into, restore_segment
-from repro.flsim.aggregation import masked_partial_average
 from repro.flsim.base import FederatedExperiment, FLClient, FLConfig
 from repro.flsim.local import adversarial_local_train
 from repro.hardware.devices import DeviceSampler, DeviceState
@@ -48,6 +47,12 @@ class PartialTrainingFAT(FederatedExperiment):
         device_sampler: Optional[DeviceSampler] = None,
         latency_model: Optional[LatencyModel] = None,
     ):
+        if config.aggregation_rule in ("krum", "multi_krum"):
+            raise ValueError(
+                f"{type(self).__name__} ships masked sub-model updates; "
+                f"Krum's distance scores need homogeneous full-model "
+                f"updates (use median, trimmed_mean or norm_clip)"
+            )
         super().__init__(task, model_builder, config, device_sampler, latency_model)
         self.mem = MemoryModel(batch_size=config.batch_size)
         self.r_max = self.mem.bytes_for(self.global_model, self.global_model.in_shape)
@@ -97,11 +102,15 @@ class PartialTrainingFAT(FederatedExperiment):
             update = (scattered, mask, float(client.num_samples))
             return update, self._cost(dev, piece.model)
 
-        results = self.scheduler.run_group("train", train_client, list(zip(clients, states)))
+        results = self.scheduler.run_group(
+            "train",
+            self._threat_wrap(round_idx, train_client, global_state),
+            list(zip(clients, states)),
+        )
         updates = [r[0] for r in results]
         costs = [r[1] for r in results]
         self.global_model.load_state_dict(
-            masked_partial_average(global_state, updates)
+            self.robust_masked_average(global_state, updates)
         )
         return costs
 
@@ -168,7 +177,7 @@ class PartialTrainingFAT(FederatedExperiment):
         """
         event_weight = float(sum(ctx.weights[i] for i in members))
         alpha = (event_weight / ctx.round_weight) / (1.0 + staleness)
-        merged = masked_partial_average(server, updates)
+        merged = self.robust_masked_average(server, updates)
         return blend_into(server, merged, alpha)
 
     def _cost(self, state: Optional[DeviceState], submodel: CascadeModel) -> LocalTrainingCost:

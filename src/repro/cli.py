@@ -89,7 +89,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     from repro.core import FedProphet, FedProphetConfig
     from repro.data import make_cifar10_like
-    from repro.flsim import FaultPlan, FLConfig
+    from repro.flsim import FaultPlan, FLConfig, ThreatPlan
     from repro.hardware import DeviceSampler, device_pool
     from repro.models import build_vgg
     from repro.nn.normalization import DualBatchNorm2d
@@ -117,6 +117,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         print("error: --resume requires --journal", file=sys.stderr)
         return 2
     fault_plan = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
+    threat_plan = ThreatPlan.parse(args.threat_plan) if args.threat_plan else None
     common = dict(
         num_clients=args.clients, clients_per_round=args.clients_per_round,
         local_iters=args.local_iters, batch_size=args.batch_size, lr=args.lr,
@@ -131,6 +132,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         fault_plan=fault_plan, client_timeout=args.client_timeout,
         max_client_retries=args.max_client_retries,
         min_clients_per_round=args.min_clients_per_round,
+        threat_plan=threat_plan, aggregation_rule=args.aggregation_rule,
+        trim_ratio=args.trim_ratio, krum_byzantine_f=args.krum_byzantine_f,
+        clip_norm=args.clip_norm,
     )
     if args.method == "fedprophet":
         exp = FedProphet(
@@ -249,8 +253,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 = off; requires --journal)")
     p.add_argument("--fault-plan", default=None, metavar="SPEC",
                    help="seeded fault injection: inline JSON ('{...}') or a "
-                        "JSON file with FaultPlan fields (dropout_prob, "
-                        "straggler_prob, flaky_prob, ...)")
+                        "path to a JSON file with FaultPlan fields "
+                        "(dropout_prob, straggler_prob, flaky_prob, ...)")
+    p.add_argument("--threat-plan", default=None, metavar="SPEC",
+                   help="seeded adversarial clients: inline JSON ('{...}') or "
+                        "a path to a JSON file with ThreatPlan fields (seed, "
+                        "byzantine_prob, attack ∈ {label_flip, backdoor, "
+                        "sign_flip, gaussian, model_replacement}, ...)")
+    p.add_argument("--aggregation-rule", default="fedavg",
+                   choices=["fedavg", "median", "trimmed_mean", "krum",
+                            "multi_krum", "norm_clip"],
+                   help="server aggregation rule; fedavg is the historical "
+                        "weighted average, the rest are Byzantine-robust "
+                        "(see docs/threat-model.md)")
+    p.add_argument("--trim-ratio", type=float, default=0.2,
+                   help="fraction trimmed from each tail per coordinate for "
+                        "--aggregation-rule trimmed_mean")
+    p.add_argument("--krum-byzantine-f", type=int, default=1,
+                   help="assumed Byzantine count f for krum/multi_krum "
+                        "neighbourhood scoring")
+    p.add_argument("--clip-norm", type=float, default=None,
+                   help="update-delta L2 clipping radius for "
+                        "--aggregation-rule norm_clip (default: adaptive "
+                        "median of the round's delta norms)")
     p.add_argument("--client-timeout", type=float, default=None,
                    help="simulated seconds before the server gives up on a "
                         "sampled client (faulty clients exceeding it are "

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from types import MappingProxyType
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -108,6 +108,7 @@ def aggregate_modules(
     client_states: Sequence[StateDict],
     client_assignments: Sequence[int],
     client_weights: Sequence[float],
+    average_fn: Optional[Callable] = None,
 ) -> StateDict:
     """Eq. 16: per-module weighted average over the clients that trained it.
 
@@ -116,6 +117,11 @@ def aggregate_modules(
     every touched key; untouched keys are absent (keep previous values).
     Pure function of its arguments; trainers reduce in client-list order,
     so the merged floats are identical on every backend.
+
+    ``average_fn(states, weights, keys, base)`` overrides the per-module
+    merge rule (the robust-aggregation hook; ``base`` is the module
+    span's current state, snapshotted from ``model``).  The default is
+    the plain :func:`weighted_average_states`.
     """
     if not (len(client_states) == len(client_assignments) == len(client_weights)):
         raise ValueError("client lists must have equal length")
@@ -131,13 +137,13 @@ def aggregate_modules(
             continue
         start, stop = partition[n]
         keys = atom_param_names(model, start, stop)
-        out.update(
-            weighted_average_states(
-                [state for state, _ in trainers],
-                [w for _, w in trainers],
-                keys=keys,
-            )
-        )
+        states = [state for state, _ in trainers]
+        weights = [w for _, w in trainers]
+        if average_fn is None:
+            out.update(weighted_average_states(states, weights, keys=keys))
+        else:
+            base = snapshot_segment(model, start, stop)
+            out.update(average_fn(states, weights, keys, base))
     return out
 
 
@@ -304,6 +310,7 @@ def merge_async_partial(
     module_round_weights: Sequence[float],
     head_round_weights: Sequence[float],
     staleness: int,
+    average_fn: Optional[Callable] = None,
 ) -> float:
     """One async merge event of FedProphet's partial average (Eq. 16/17).
 
@@ -320,6 +327,13 @@ def merge_async_partial(
     in-place replay over simulated-arrival events — no backend or worker
     count can change the result.  Returns the largest applied rate (0.0
     when the event touched nothing).
+
+    ``average_fn(states, weights, keys, base)`` overrides the per-module
+    merge rule (the robust-aggregation hook; ``base`` is the module
+    span's current server state, so ``norm_clip`` bounds displacement
+    where the stale update actually lands).  Heads keep the plain
+    weighted average — they merge over ``M_k == n`` members only, a
+    cohort usually too small for a robust statistic to be meaningful.
     """
     if not (
         len(member_states)
@@ -340,10 +354,14 @@ def merge_async_partial(
             continue
         start, stop = partition[n]
         keys = atom_param_names(model, start, stop)
-        merged = weighted_average_states(
-            [state for state, _ in trainers], [w for _, w in trainers], keys=keys
-        )
-        event_weight = float(sum(w for _, w in trainers))
+        states = [state for state, _ in trainers]
+        weights = [w for _, w in trainers]
+        if average_fn is None:
+            merged = weighted_average_states(states, weights, keys=keys)
+        else:
+            base = {key: server_seg[key] for key in keys}
+            merged = average_fn(states, weights, keys, base)
+        event_weight = float(sum(weights))
         alpha = (event_weight / module_round_weights[n]) / (1.0 + staleness)
         applied.append(blend_into(server_seg, merged, alpha))
     for n, head_state in enumerate(server_heads):

@@ -128,6 +128,21 @@ class FedProphet(FederatedExperiment):
         )
         self.current_module = 0
         self.prefix_cache = PrefixCache() if config.use_prefix_cache else None
+        if (
+            self.prefix_cache is not None
+            and config.threat_plan is not None
+            and config.threat_plan.active
+            and config.threat_plan.attack == "backdoor"
+        ):
+            # The prefix cache keys activations by (client, sample index)
+            # and assumes client inputs are immutable; a backdoor trigger
+            # rewrites inputs per round, so cached prefix activations
+            # would go stale silently.
+            raise ValueError(
+                "a backdoor threat plan modifies client inputs, which "
+                "invalidates the frozen-prefix activation cache; set "
+                "use_prefix_cache=False to run this scenario"
+            )
         # Stage-scoped bookkeeping: the frozen prefix only changes when the
         # training stage advances to a new module, so both the activation
         # cache and the thread workers' full-model syncs are keyed on this
@@ -377,8 +392,12 @@ class FedProphet(FederatedExperiment):
         forked = self.executor.forks_for(len(clients)) and self.prefix_cache is not None
         export_cache = forked and start_atom > 0
         self._sync_workspaces(len(clients))
-        train_client = self._stage_train_fn(
-            round_idx, m, seg_snapshot, head_states, forked, export_cache
+        train_client = self._threat_wrap(
+            round_idx,
+            self._stage_train_fn(
+                round_idx, m, seg_snapshot, head_states, forked, export_cache
+            ),
+            seg_snapshot,
         )
         if cfg.aggregation_mode == "async":
             return self._run_round_async(
@@ -405,12 +424,28 @@ class FedProphet(FederatedExperiment):
             if h is not None and s is not None:
                 h.load_state_dict(s)
         merged = aggregate_modules(
-            self.global_model, self.partition, m, seg_states, assignments, weights
+            self.global_model, self.partition, m, seg_states, assignments, weights,
+            average_fn=self._module_average_fn(),
         )
         if merged:
             self.global_model.load_state_dict(merged, strict=False)
         aggregate_heads(self.heads, client_head_states, assignments, weights)
         return costs
+
+    def _module_average_fn(self) -> Optional[Callable]:
+        """The per-module robust-aggregation hook (None = plain average).
+
+        Routes every Eq. 16 module merge through
+        :meth:`robust_aggregate` when a non-default ``aggregation_rule``
+        is configured; heads keep the plain Eq. 17 average (their
+        ``M_k == n`` trainer cohorts are too small for robust
+        statistics).
+        """
+        if self.config.aggregation_rule == "fedavg":
+            return None
+        return lambda states, weights, keys, base: self.robust_aggregate(
+            states, weights, keys=keys, base=base
+        )
 
     def _run_round_async(
         self,
@@ -494,6 +529,7 @@ class FedProphet(FederatedExperiment):
                     module_weights,
                     head_weights,
                     staleness=next_event,
+                    average_fn=self._module_average_fn(),
                 )
                 self.async_log.append(
                     AsyncMergeEvent(
@@ -590,6 +626,7 @@ class FedProphet(FederatedExperiment):
                     continue
                 round_costs = self.run_round(t, clients, states)
                 self.advance_clock(round_costs)
+                self._jlog_agg(t)
 
                 last_eval = self.cascade_eval(m)
                 if m > 0 and cfg.use_apa:

@@ -15,7 +15,29 @@ from repro.flsim.base import (
     RoundRecord,
     FederatedExperiment,
 )
-from repro.flsim.aggregation import fedavg, weighted_average_states, masked_partial_average
+from repro.flsim.aggregation import (
+    AggregationError,
+    fedavg,
+    weighted_average_states,
+    masked_partial_average,
+)
+from repro.flsim.robust_agg import (
+    AGGREGATION_RULES,
+    RobustAggregator,
+    clipped_norm_average,
+    coordinate_median,
+    krum_scores,
+    krum_select,
+    masked_robust_average,
+    trimmed_mean,
+)
+from repro.flsim.threats import (
+    ATTACKS,
+    DATA_ATTACKS,
+    UPDATE_ATTACKS,
+    RoundThreats,
+    ThreatPlan,
+)
 from repro.flsim.executor import BACKENDS, RoundExecutor
 from repro.flsim.scheduler import (
     AsyncRoundTicket,
@@ -83,4 +105,18 @@ __all__ = [
     "config_fingerprint",
     "read_checkpoint",
     "write_checkpoint",
+    "AggregationError",
+    "AGGREGATION_RULES",
+    "RobustAggregator",
+    "coordinate_median",
+    "trimmed_mean",
+    "krum_scores",
+    "krum_select",
+    "clipped_norm_average",
+    "masked_robust_average",
+    "ATTACKS",
+    "DATA_ATTACKS",
+    "UPDATE_ATTACKS",
+    "ThreatPlan",
+    "RoundThreats",
 ]

@@ -11,6 +11,16 @@ from repro.nn.dtype import accum_dtype
 StateDict = Dict[str, np.ndarray]
 
 
+class AggregationError(ValueError):
+    """Aggregation received an unusable input set.
+
+    Raised (instead of a bare ``ValueError``) when there is nothing to
+    aggregate — e.g. every sampled client dropped out of a round — so run
+    loops can catch the condition specifically and abort the round
+    cleanly instead of crashing the run.
+    """
+
+
 def weighted_average_states(
     states: Sequence[StateDict],
     weights: Sequence[float],
@@ -22,14 +32,20 @@ def weighted_average_states(
     hold a superset) — the partial-average aggregator passes each module's
     key list directly so no intermediate per-trainer sub-dicts are built.
     The accumulation is in place into one output array per key.
+
+    Raises :class:`AggregationError` on an empty ``states`` (a fully
+    dropped round) or non-positive total weight.
     """
     if not states:
-        raise ValueError("need at least one state dict")
+        raise AggregationError(
+            "cannot aggregate an empty set of client updates "
+            "(did every sampled client drop out?)"
+        )
     if len(states) != len(weights):
         raise ValueError("states and weights length mismatch")
     total = float(sum(weights))
     if total <= 0:
-        raise ValueError("weights must sum to a positive value")
+        raise AggregationError("weights must sum to a positive value")
     out: StateDict = {}
     for key in states[0] if keys is None else keys:
         acc = np.zeros_like(states[0][key], dtype=accum_dtype(*(s[key] for s in states)))
@@ -54,7 +70,13 @@ def masked_partial_average(
     ``scattered_state`` has the *global* shapes with zeros outside the
     trained region and ``mask`` is 1 where the client actually trained.
     Entries covered by no client keep their previous global value (Eq. 16).
+    Raises :class:`AggregationError` when ``updates`` is empty.
     """
+    if not updates:
+        raise AggregationError(
+            "cannot aggregate an empty set of partial updates "
+            "(did every sampled client drop out?)"
+        )
     out: StateDict = {}
     for key, g in global_state.items():
         dtype = accum_dtype(g, *(s[key] for s, _, _ in updates if key in s))

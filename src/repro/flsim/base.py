@@ -24,9 +24,12 @@ from repro.data.partition import pathological_partition
 from repro.data.synthetic import SyntheticImageTask
 from repro.flsim.eval_executor import EvalExecutor, EvalTarget, PendingEval
 from repro.flsim.executor import BACKENDS, RoundExecutor
+from repro.flsim.aggregation import AggregationError
 from repro.flsim.faults import FaultPlan, RoundFaults
 from repro.flsim.journal import JournalError, RunJournal
+from repro.flsim.robust_agg import AGGREGATION_RULES, RobustAggregator, masked_robust_average
 from repro.flsim.scheduler import FLScheduler
+from repro.flsim.threats import RoundThreats, ThreatPlan
 from repro.hardware.devices import DeviceSampler, DeviceState
 from repro.hardware.latency import LatencyModel, LocalTrainingCost
 from repro.metrics.evaluation import EvalPlan, EvalResult
@@ -104,6 +107,16 @@ class FLConfig:
     retries, and a round whose surviving cohort falls below
     ``min_clients_per_round`` aborts deterministically (no training, an
     ``aborted`` history record).
+
+    ``threat_plan`` injects seeded Byzantine clients (label-flip /
+    backdoor data poisoning, sign-flip / Gaussian / model-replacement
+    update poisoning — see :class:`repro.flsim.threats.ThreatPlan`);
+    ``aggregation_rule`` picks the server's defence
+    (:mod:`repro.flsim.robust_agg`): ``fedavg`` (default, bit-identical
+    to the historical engine), ``median``, ``trimmed_mean`` (with
+    ``trim_ratio``), ``krum``/``multi_krum`` (with ``krum_byzantine_f``),
+    or ``norm_clip`` (with ``clip_norm``; None = adaptive median-norm
+    radius).
     """
 
     num_clients: int = 100
@@ -137,6 +150,11 @@ class FLConfig:
     client_timeout: Optional[float] = None
     max_client_retries: int = 2
     min_clients_per_round: int = 1
+    threat_plan: Optional[ThreatPlan] = None
+    aggregation_rule: str = "fedavg"
+    trim_ratio: float = 0.2
+    krum_byzantine_f: int = 1
+    clip_norm: Optional[float] = None
 
     def __post_init__(self):
         if self.clients_per_round > self.num_clients:
@@ -198,6 +216,26 @@ class FLConfig:
             raise ValueError("max_client_retries must be >= 0")
         if self.min_clients_per_round < 1:
             raise ValueError("min_clients_per_round must be >= 1")
+        if isinstance(self.threat_plan, dict):
+            self.threat_plan = ThreatPlan(**self.threat_plan)
+        if self.threat_plan is not None and not isinstance(
+            self.threat_plan, ThreatPlan
+        ):
+            raise ValueError(
+                f"threat_plan must be a ThreatPlan (or a dict of its fields), "
+                f"got {type(self.threat_plan).__name__}"
+            )
+        if self.aggregation_rule not in AGGREGATION_RULES:
+            raise ValueError(
+                f"aggregation_rule must be one of {AGGREGATION_RULES}, "
+                f"got {self.aggregation_rule!r}"
+            )
+        if not (0.0 <= self.trim_ratio < 0.5):
+            raise ValueError("trim_ratio must be in [0, 0.5)")
+        if self.krum_byzantine_f < 0:
+            raise ValueError("krum_byzantine_f must be >= 0")
+        if self.clip_norm is not None and self.clip_norm <= 0:
+            raise ValueError("clip_norm must be > 0 (or None for adaptive)")
 
 
 @dataclass
@@ -290,6 +328,12 @@ class FederatedExperiment(ABC):
     #: FedProphet turns this off: cascade_eval feeds APA and early-stop,
     #: putting evaluation on the algorithm's critical path.
     supports_overlap_eval = True
+    #: Whether every state merge routes through :meth:`robust_aggregate` /
+    #: :meth:`robust_masked_average`.  Experiments whose aggregation is
+    #: not a weighted average of client states (e.g. ensemble
+    #: distillation's logit averaging) set this False and refuse
+    #: non-default ``aggregation_rule`` at init rather than ignore it.
+    supports_robust_aggregation = True
 
     def __init__(
         self,
@@ -370,6 +414,19 @@ class FederatedExperiment(ABC):
         self._round_faults: Optional[RoundFaults] = None
         self._resume_round: int = 0
         self._resume_async: Optional[Dict[str, Any]] = None
+        # Threat state: the current round's Byzantine verdict and the
+        # configured robust-aggregation rule (+ its per-merge stats sink,
+        # drained into the journal by the run loops).
+        self._round_threats: Optional[RoundThreats] = None
+        self._robust = RobustAggregator.from_config(config)
+        self._agg_stats: List[Dict[str, Any]] = []
+        if config.aggregation_rule != "fedavg" and not self.supports_robust_aggregation:
+            raise ValueError(
+                f"{type(self).__name__} does not route its aggregation "
+                f"through the robust-aggregation hooks; "
+                f"aggregation_rule={config.aggregation_rule!r} would be "
+                f"silently ignored (use 'fedavg')"
+            )
 
     # -- executor workspaces -------------------------------------------------
     def _slot_model(self, slot: int) -> CascadeModel:
@@ -492,6 +549,36 @@ class FederatedExperiment(ABC):
             if not faults.aborted:
                 selected = [selected[i] for i in faults.survivors]
                 states = [states[i] for i in faults.survivors]
+        self._round_threats = None
+        tplan = cfg.threat_plan
+        if tplan is not None and tplan.active and not self._fault_aborted():
+            threats = tplan.plan_round(round_idx, [c.cid for c in selected])
+            if threats.byzantine:
+                self._round_threats = threats
+                self._jlog(
+                    "threats",
+                    round=round_idx,
+                    attack=threats.attack,
+                    byzantine=list(threats.byzantine_cids),
+                )
+                if tplan.is_data_attack:
+                    # Swap the Byzantine clients' shards for poisoned
+                    # copies: every baseline then trains on them with no
+                    # attack-specific code (num_samples is unchanged, so
+                    # weights and costs stay honest-looking).
+                    byz = set(threats.byzantine)
+                    selected = [
+                        FLClient(
+                            cid=c.cid,
+                            dataset=tplan.poison_dataset(
+                                c.dataset, round_idx, c.cid,
+                                self.task.num_classes,
+                            ),
+                        )
+                        if i in byz
+                        else c
+                        for i, c in enumerate(selected)
+                    ]
         self._jlog("sample", round=round_idx, cids=[c.cid for c in selected])
         return selected, states
 
@@ -573,6 +660,119 @@ class FederatedExperiment(ABC):
         self.clock_s += compute + access
         self.total_compute_s += compute
         self.total_access_s += access
+
+    # -- update-space threats + robust aggregation -----------------------------
+    def _maybe_poison_update(
+        self,
+        round_idx: int,
+        cid: int,
+        update: Any,
+        base: Dict[str, np.ndarray],
+        threats: Optional[RoundThreats] = None,
+    ) -> Any:
+        """Apply the active update attack to one client's reported update."""
+        plan = self.config.threat_plan
+        threats = threats if threats is not None else self._round_threats
+        if (
+            plan is None
+            or threats is None
+            or not plan.is_update_attack
+            or cid not in threats.byzantine_cids
+        ):
+            return update
+        return plan.poison_update(update, base, round_idx, cid)
+
+    def _threat_wrap(
+        self,
+        round_idx: int,
+        fn: Callable,
+        base: Dict[str, np.ndarray],
+        threats: Optional[RoundThreats] = None,
+    ) -> Callable:
+        """Wrap a train work unit so Byzantine clients lie about their update.
+
+        ``base`` is the round's training base (what the deltas are
+        measured against); ``fn(item, slot)`` must take ``(client,
+        device_state)`` items.  Honest rounds return ``fn`` unchanged, so
+        an inactive plan costs nothing.
+        """
+        plan = self.config.threat_plan
+        threats = threats if threats is not None else self._round_threats
+        if (
+            plan is None
+            or threats is None
+            or not plan.is_update_attack
+            or not threats.byzantine_cids
+        ):
+            return fn
+
+        def poisoned_fn(item, slot):
+            update = fn(item, slot)
+            return self._maybe_poison_update(
+                round_idx, item[0].cid, update, base, threats
+            )
+
+        return poisoned_fn
+
+    def robust_aggregate(
+        self,
+        states: Sequence[Dict[str, np.ndarray]],
+        weights: Sequence[float],
+        keys: Optional[Sequence[str]] = None,
+        base: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Merge client states under the configured ``aggregation_rule``.
+
+        The single funnel every baseline's state merge goes through (sync
+        averages, async merge events, FedProphet per-module merges); rule
+        stats are queued for the run loop's per-round ``agg`` journal
+        event.  ``fedavg`` delegates to ``weighted_average_states``
+        unchanged.
+        """
+        merged, stats = self._robust.aggregate(states, weights, keys=keys, base=base)
+        if stats is not None:
+            self._agg_stats.append(stats)
+        return merged
+
+    def robust_masked_average(
+        self,
+        global_state: Dict[str, np.ndarray],
+        updates: Sequence[Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], float]],
+    ) -> Dict[str, np.ndarray]:
+        """Masked-partial-average funnel (the partial-training family)."""
+        merged, stats = masked_robust_average(global_state, updates, self._robust)
+        if stats is not None:
+            self._agg_stats.append(stats)
+        return merged
+
+    def _drain_agg_stats(self) -> List[Dict[str, Any]]:
+        stats, self._agg_stats = self._agg_stats, []
+        return stats
+
+    def _jlog_agg(self, round_idx: int) -> None:
+        """Journal the round's queued robust-aggregation stats (if any)."""
+        stats = self._drain_agg_stats()
+        if stats:
+            self._jlog("agg", round=round_idx, events=stats)
+
+    def _try_run_round(
+        self,
+        round_idx: int,
+        clients: List[FLClient],
+        states: List[Optional[DeviceState]],
+    ) -> Optional[List[LocalTrainingCost]]:
+        """Run one round, catching :class:`AggregationError` (-> None).
+
+        The typed abort path for a fully-dropped cohort: the journal gets
+        an ``agg_abort`` event and the caller records an aborted round
+        instead of crashing the run on a bare ``ValueError``.
+        """
+        try:
+            return self.run_round(round_idx, clients, states)
+        except AggregationError as err:
+            self._jlog("agg_abort", round=round_idx, error=str(err))
+            self._drain_agg_stats()
+            return None
 
     # -- main loop -------------------------------------------------------------
     @abstractmethod
@@ -660,22 +860,25 @@ class FederatedExperiment(ABC):
     ) -> float:
         """Merge one event's updates into ``server`` in place.
 
-        Default: full-model FedAsync (weighted average of the event
-        members mixed in at ``(event weight / round weight) / (1 +
-        staleness)``), which is exact FedAvg for a single staleness-0
-        event.  Experiments with structured updates override (FedRBN's
-        dual-BN statistics, the partial-training masked average).
-        Returns the applied mixing rate for the merge log.
+        Default: full-model FedAsync (the event members' updates merged
+        under the configured ``aggregation_rule`` — plain weighted
+        average for ``fedavg`` — then mixed in at ``(event weight /
+        round weight) / (1 + staleness)``), which is exact FedAvg for a
+        single staleness-0 event.  ``norm_clip`` measures deltas against
+        the server state *at merge time*, so a stale update's
+        displacement is bounded where it actually lands.  Experiments
+        with structured updates override (FedRBN's dual-BN statistics,
+        the partial-training masked average).  Returns the applied
+        mixing rate for the merge log.
         """
-        from repro.core.aggregator import merge_async_update  # local: core imports flsim
+        from repro.core.aggregator import blend_into  # local: core imports flsim
 
-        return merge_async_update(
-            server,
-            updates,
-            [ctx.weights[i] for i in members],
-            ctx.round_weight,
-            staleness,
-        )
+        weights = [ctx.weights[i] for i in members]
+        if ctx.round_weight <= 0:
+            raise AggregationError("round weight must be positive")
+        merged = self.robust_aggregate(updates, weights, base=server)
+        alpha = (float(sum(weights)) / ctx.round_weight) / (1.0 + staleness)
+        return blend_into(server, merged, alpha)
 
     def async_finalize(self, server: Dict[str, np.ndarray]) -> None:
         """Install the fully merged server state into the global model."""
@@ -738,6 +941,7 @@ class FederatedExperiment(ABC):
             ctx: AsyncRoundContext = ticket.meta
             updates = [ticket.updates[i] for i in members]
             alpha = self.async_merge_event(server, ctx, members, updates, staleness)
+            agg_stats = self._drain_agg_stats()
             event = AsyncMergeEvent(
                 round=ticket.round_idx,
                 event=ticket.next_event,
@@ -748,8 +952,7 @@ class FederatedExperiment(ABC):
                 sim_time_s=ticket.event_times[ticket.next_event],
             )
             self.async_log.append(event)
-            self._jlog(
-                "merge",
+            payload = dict(
                 round=event.round,
                 event=event.event,
                 staleness=event.staleness,
@@ -758,6 +961,9 @@ class FederatedExperiment(ABC):
                 base_version=event.base_version,
                 sim_time_s=event.sim_time_s,
             )
+            if agg_stats:
+                payload["agg"] = agg_stats
+            self._jlog("merge", **payload)
 
         def round_complete(ticket):
             t = ticket.round_idx
@@ -832,12 +1038,16 @@ class FederatedExperiment(ABC):
                     max(costs, key=lambda c: c.total_s) if costs else None
                 )
 
-                def fn_factory(ticket, _t=t):
+                def fn_factory(ticket, _t=t, _threats=self._round_threats):
                     # Called after the pre-dispatch merge replay: the server
                     # now sits at this round's base version, so copy it as the
-                    # round's immutable training base.
+                    # round's immutable training base.  Byzantine clients lie
+                    # relative to that same base (captured per round — later
+                    # rounds must not see this round's verdict).
                     base = {k: v.copy() for k, v in server.items()}
-                    return self.async_client_fn(_t, base)
+                    return self._threat_wrap(
+                        _t, self.async_client_fn(_t, base), base, threats=_threats
+                    )
 
                 ticket = pipeline.dispatch(
                     t,
@@ -1303,9 +1513,14 @@ class FederatedExperiment(ABC):
             clients, states = self.sample_round(t)
             if self._fault_aborted():
                 self._finish_aborted_round(t)
+            elif (costs := self._try_run_round(t, clients, states)) is None:
+                # A round with nothing to aggregate (AggregationError:
+                # every update rejected or dropped) aborts like a
+                # fault-aborted round: model unchanged, run continues.
+                self._finish_aborted_round(t)
             else:
-                costs = self.run_round(t, clients, states)
                 self.advance_clock(costs)
+                self._jlog_agg(t)
                 record = RoundRecord(
                     round=t,
                     sim_time_s=self.clock_s,

@@ -29,12 +29,84 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import typing
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.hardware.latency import LocalTrainingCost
+
+
+# -- shared plan-JSON schema validation ------------------------------------
+# Used by FaultPlan and ThreatPlan alike: a malformed plan file must fail
+# at load time with an error naming the offending field, not deep inside
+# the run loop.
+
+def _hint_name(hint: Any) -> str:
+    origin = typing.get_origin(hint)
+    if origin is typing.Union:
+        return " or ".join(_hint_name(a) for a in typing.get_args(hint))
+    if hint is type(None):
+        return "null"
+    return getattr(hint, "__name__", str(hint))
+
+
+def _type_ok(value: Any, hint: Any) -> bool:
+    origin = typing.get_origin(hint)
+    if origin is typing.Union:
+        return any(_type_ok(value, a) for a in typing.get_args(hint))
+    if hint is type(None):
+        return value is None
+    if hint is bool:
+        return isinstance(value, bool)
+    if hint is float:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if hint is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if hint is str:
+        return isinstance(value, str)
+    return isinstance(value, hint)
+
+
+def validate_plan_dict(data: Any, cls: type, label: str) -> Dict[str, Any]:
+    """Schema-check a decoded plan JSON object against a plan dataclass.
+
+    Unknown keys and type mismatches raise :class:`ValueError` naming the
+    offending field; range checks stay in the dataclass ``__post_init__``.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"{label} JSON must be an object, got {type(data).__name__}"
+        )
+    hints = typing.get_type_hints(cls)
+    fields = sorted(f.name for f in dataclasses.fields(cls))
+    for key, value in data.items():
+        if key not in fields:
+            raise ValueError(
+                f"{label}: unknown field {key!r} "
+                f"(valid fields: {', '.join(fields)})"
+            )
+        if not _type_ok(value, hints[key]):
+            raise ValueError(
+                f"{label}: field {key!r} expects {_hint_name(hints[key])}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+    return data
+
+
+def load_plan_spec(cls: type, spec: str, label: str):
+    """Parse a CLI plan spec: inline JSON (``{...}``) or a JSON file path."""
+    spec = spec.strip()
+    if spec.startswith("{"):
+        return cls.from_json(spec)
+    if not os.path.exists(spec):
+        raise ValueError(
+            f"{label} spec {spec!r} is neither inline JSON nor an "
+            f"existing file"
+        )
+    with open(spec, encoding="utf-8") as f:
+        return cls.from_json(f.read())
 
 
 @dataclass(frozen=True)
@@ -235,21 +307,10 @@ class FaultPlan:
 
     @classmethod
     def from_json(cls, text: str) -> "FaultPlan":
-        data = json.loads(text)
-        if not isinstance(data, dict):
-            raise ValueError(f"fault plan JSON must be an object, got {type(data).__name__}")
+        data = validate_plan_dict(json.loads(text), cls, "fault plan")
         return cls(**data)
 
     @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
         """Parse a CLI spec: inline JSON (``{...}``) or a JSON file path."""
-        spec = spec.strip()
-        if spec.startswith("{"):
-            return cls.from_json(spec)
-        if not os.path.exists(spec):
-            raise ValueError(
-                f"fault plan spec {spec!r} is neither inline JSON nor an "
-                f"existing file"
-            )
-        with open(spec, encoding="utf-8") as f:
-            return cls.from_json(f.read())
+        return load_plan_spec(cls, spec, "fault plan")

@@ -17,8 +17,11 @@ kind        payload
 run_start   ``fingerprint``, ``experiment``, ``rounds``, ``mode``
 sample      ``round``, ``cids`` (the cohort that will train)
 faults      ``round``, ``sampled``, ``dropped``, ``retries``, ``aborted``
+threats     ``round``, ``attack``, ``byzantine`` (cids marked this round)
 dispatch    async: ``round``, ``base_version``, ``dispatch_time``, ``cids``
-merge       async: mirrors one ``AsyncMergeEvent``
+merge       async: mirrors one ``AsyncMergeEvent`` (+``agg`` rule stats)
+agg         ``round``, ``events`` (robust-rule rejection/clipping stats)
+agg_abort   ``round``, ``error`` (an ``AggregationError`` ended the round)
 round       ``round``, ``sim_time_s`` (+cumulative costs, ``aborted``)
 eval        ``round``, ``clean_acc``, ``pgd_acc``, ``aa_acc``
 checkpoint  ``next_round``, ``path`` (basename, relative to the journal)
@@ -83,7 +86,13 @@ class RunJournal:
         """Parse a journal; a torn *final* line (crash artefact) is dropped.
 
         A malformed line anywhere else means the file is not an
-        append-only journal and raises :class:`JournalError`.
+        append-only journal and raises :class:`JournalError`.  The
+        writer's ``seq`` counter is contiguous from 0, so the reader also
+        verifies it: a gap, repeat, or missing ``seq`` mid-file (silent
+        corruption a JSON parse alone cannot see — e.g. a torn *middle*
+        page after a crashed overwrite) raises :class:`JournalError`
+        naming the expected and found seq, and resume refuses cleanly
+        instead of continuing from a hole.
         """
         events: List[dict] = []
         with open(path, encoding="utf-8") as f:
@@ -92,13 +101,22 @@ class RunJournal:
             if not line.strip():
                 continue
             try:
-                events.append(json.loads(line))
+                event = json.loads(line)
             except json.JSONDecodeError:
                 if i == len(lines) - 1:
                     break  # torn tail from a mid-write kill
                 raise JournalError(
-                    f"{path}: malformed journal line {i + 1}"
+                    f"{path}: malformed journal line {i + 1} "
+                    f"(expected seq {len(events)})"
                 ) from None
+            expected = len(events)
+            got = event.get("seq") if isinstance(event, dict) else None
+            if got != expected:
+                raise JournalError(
+                    f"{path}: journal line {i + 1} has seq {got!r}, "
+                    f"expected {expected} (mid-file corruption?)"
+                )
+            events.append(event)
         return events
 
     @staticmethod

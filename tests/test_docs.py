@@ -90,7 +90,7 @@ class TestDocsSuitePresent:
     @pytest.mark.parametrize(
         "page",
         ["architecture.md", "async-aggregation.md", "benchmarks.md",
-         "configuration.md", "fault-tolerance.md"],
+         "configuration.md", "fault-tolerance.md", "threat-model.md"],
     )
     def test_page_exists_and_linked_from_readme(self, page):
         path = REPO_ROOT / "docs" / page

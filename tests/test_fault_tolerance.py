@@ -127,6 +127,45 @@ class TestRunJournal:
         with pytest.raises(JournalError, match="malformed"):
             RunJournal.read(path)
 
+    def test_seq_gap_mid_file_rejected(self, tmp_path):
+        # A torn *middle* page (crashed overwrite, disk corruption) can
+        # leave valid JSON with a hole in the seq chain — the reader must
+        # notice even though every line parses.
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write('{"seq": 0, "kind": "run_start"}\n')
+            f.write('{"seq": 2, "kind": "round", "round": 1}\n')
+        with pytest.raises(JournalError, match="seq 2, expected 1"):
+            RunJournal.read(path)
+
+    def test_seq_repeat_mid_file_rejected(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write('{"seq": 0, "kind": "run_start"}\n')
+            f.write('{"seq": 0, "kind": "round"}\n')
+        with pytest.raises(JournalError, match="seq 0, expected 1"):
+            RunJournal.read(path)
+
+    def test_missing_seq_rejected(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write('{"kind": "run_start"}\n')
+        with pytest.raises(JournalError, match="seq None, expected 0"):
+            RunJournal.read(path)
+
+    def test_resume_refuses_corrupt_journal(self, tmp_path):
+        # resume_open reads the journal to continue the seq counter, so a
+        # mid-file hole must refuse the resume cleanly (no silent append
+        # past corruption) while leaving the file untouched.
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write('{"seq": 0, "kind": "run_start"}\n')
+            f.write('{"seq": 5, "kind": "round"}\n')
+        before = open(path, encoding="utf-8").read()
+        with pytest.raises(JournalError, match="mid-file corruption"):
+            RunJournal.resume_open(path)
+        assert open(path, encoding="utf-8").read() == before
+
     def test_resume_open_continues_seq(self, tmp_path):
         path = str(tmp_path / "run.jsonl")
         journal = RunJournal.create(path)

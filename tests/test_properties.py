@@ -1,13 +1,18 @@
 """Hypothesis property-based tests on core data structures and invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.attacks.pgd import gradient_step, project, random_init
 from repro.data.partition import dirichlet_partition, iid_partition, pathological_partition
-from repro.flsim.aggregation import masked_partial_average, weighted_average_states
+from repro.flsim.aggregation import (
+    AggregationError,
+    masked_partial_average,
+    weighted_average_states,
+)
 from repro.nn.functional import col2im, im2col, one_hot
 from repro.nn.losses import log_softmax, softmax
 
@@ -187,9 +192,12 @@ def test_weighted_average_scale_invariant_in_weights(args):
 
 
 @given(arrays(np.float64, (4,), elements=finite_floats))
-def test_masked_partial_average_no_updates_is_identity(g):
-    out = masked_partial_average({"w": g}, [])
-    np.testing.assert_allclose(out["w"], g)
+def test_masked_partial_average_no_updates_raises_typed_error(g):
+    # An empty cohort is no longer a silent identity: it raises the typed
+    # AggregationError so the engine's abort path can refuse the round
+    # (which leaves the global model untouched — identity, but explicit).
+    with pytest.raises(AggregationError):
+        masked_partial_average({"w": g}, [])
 
 
 @given(st.lists(st.integers(0, 9), min_size=1, max_size=32))
