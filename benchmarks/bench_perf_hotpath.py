@@ -659,6 +659,179 @@ def bench_robust_agg(params: dict) -> Dict[str, dict]:
     return out
 
 
+def _build_jfat_many_small(params: dict, backend: str, workers: int,
+                           fusion_width: int = 1, rounds: int = 1,
+                           aggregation_mode: str = "sync",
+                           pipeline_depth: int = 1, unbalanced: bool = False):
+    """A jFAT run in the many-small-clients regime the batched backend
+    targets: 16 clients per round, tiny per-client batches over a small
+    CNN, so Python/numpy per-call overhead — not BLAS — dominates the
+    serial round.  Equal shards mean every client shares one fusion key.
+    """
+    from repro.baselines import JointFAT
+    from repro.flsim import FLConfig
+    from repro.hardware import DeviceSampler, device_pool
+    from repro.models.cnn import build_cnn
+
+    task = make_cifar10_like(
+        image_size=8, train_per_class=params["train_per_class"],
+        test_per_class=10, seed=0,
+    )
+    cfg = FLConfig(
+        num_clients=16, clients_per_round=16,
+        local_iters=params["local_iters"], batch_size=4, lr=0.05,
+        rounds=rounds, train_pgd_steps=2, eval_pgd_steps=2, eval_every=0,
+        seed=0, executor_backend=backend, round_parallelism=workers,
+        fusion_width=fusion_width,
+        aggregation_mode=aggregation_mode, max_staleness=2,
+        pipeline_depth=pipeline_depth,
+    )
+    return JointFAT(
+        task,
+        lambda rng: build_cnn(3, num_classes=10, in_shape=(3, 8, 8),
+                              base_channels=8, rng=rng),
+        cfg,
+        device_sampler=(
+            DeviceSampler(device_pool("cifar10"), "unbalanced")
+            if unbalanced else None
+        ),
+    )
+
+
+def bench_client_batched(params: dict) -> Dict[str, dict]:
+    """The client-batched execution backend vs per-client dispatch.
+
+    One synchronous jFAT round over 16 homogeneous clients with tiny
+    per-client batches, under three backends:
+
+    * ``serial``  — the reference per-client loop;
+    * ``thread``  — per-client tasks on the thread pool (GIL-bound on
+      this workload: the ops are too small for BLAS to release the GIL
+      for long);
+    * ``batched`` — fusion cohorts of 8: one stacked forward/backward
+      per cohort over per-layer weight slabs, cohorts striped over the
+      same pool.
+
+    The batched backend must be **bit-identical to serial** — checked
+    hard on final weights and round history for a full sync run at
+    fusion widths 1, 2 and 4, and on final weights + merge log for a
+    ``pipeline_depth=2`` async run (SystemExit otherwise) — and ≥2×
+    faster than the thread backend on ≥4-core machines (vectorisation
+    and parallelism compose: cohorts stripe over workers).
+    """
+    cpus = os.cpu_count() or 1
+    workers = max(1, min(cpus, 4))
+    fusion = 8
+    out: Dict[str, dict] = {"cpus": cpus, "workers": workers, "fusion_width": fusion}
+
+    variants = {
+        "serial": dict(backend="serial", workers=1, fusion_width=1),
+        "thread": dict(backend="thread", workers=workers, fusion_width=1),
+        "batched": dict(backend="batched", workers=workers, fusion_width=fusion),
+    }
+    for name, spec in variants.items():
+        exp = _build_jfat_many_small(params, spec["backend"], spec["workers"],
+                                     fusion_width=spec["fusion_width"])
+        clients, states = exp.sample_round(0)
+
+        def one_round():
+            exp.run_round(0, clients, states)
+
+        t = _best_of(one_round, params["reps"])
+        samples = exp.config.clients_per_round * exp.config.local_iters * exp.config.batch_size
+        out[name] = {"seconds": t, "samples_per_sec": samples / t}
+        exp.close()
+
+    # Hard bit-identity, sync: full runs at fusion widths 1/2/4/8 must
+    # reproduce the serial weights and history exactly.
+    def run_sync(backend, fusion_width):
+        exp = _build_jfat_many_small(params, backend,
+                                     workers if backend != "serial" else 1,
+                                     fusion_width=fusion_width, rounds=2)
+        history = exp.run()
+        final = exp.global_model.state_dict()
+        exp.close()
+        return final, [(r.round, r.sim_time_s, r.compute_s) for r in history]
+
+    ref_state, ref_history = run_sync("serial", 1)
+    widths = (1, 2, 4, fusion)
+    for width in widths:
+        state, history = run_sync("batched", width)
+        if history != ref_history:
+            raise SystemExit(
+                f"FAIL: client_batched fusion={width} history diverged from serial"
+            )
+        for key, value in ref_state.items():
+            if not np.array_equal(value, state[key]):
+                raise SystemExit(
+                    f"FAIL: client_batched fusion={width} diverged from "
+                    f"serial at {key!r}"
+                )
+
+    # Hard bit-identity, async: the cross-round pipeline (depth 2) must
+    # replay the same merge log and weights under cohort fusion.
+    def run_async(backend, fusion_width):
+        exp = _build_jfat_many_small(
+            params, backend, workers if backend != "serial" else 1,
+            fusion_width=fusion_width, rounds=3,
+            aggregation_mode="async", pipeline_depth=2, unbalanced=True,
+        )
+        exp.run()
+        final = exp.global_model.state_dict()
+        log = exp.async_log
+        exp.close()
+        return final, log
+
+    ref_async, ref_log = run_async("serial", 1)
+    async_state, async_log = run_async("batched", fusion)
+    if async_log != ref_log:
+        raise SystemExit(
+            "FAIL: client_batched async merge log diverged from serial"
+        )
+    for key, value in ref_async.items():
+        if not np.array_equal(value, async_state[key]):
+            raise SystemExit(
+                f"FAIL: client_batched async run diverged from serial at {key!r}"
+            )
+
+    out["identical_fusion_widths"] = list(widths)
+    out["identical_async_depth2"] = True
+    out["speedups"] = {
+        "batched_vs_serial": out["serial"]["seconds"] / out["batched"]["seconds"],
+        "batched_vs_thread": out["thread"]["seconds"] / out["batched"]["seconds"],
+    }
+    return out
+
+
+def bench_thread_scaling(params: dict) -> Dict[str, dict]:
+    """Thread-backend scaling sweep: the same sync round at 1/2/4/8 workers.
+
+    Report-only (no gate): records where per-client thread dispatch
+    stops scaling on this runner, as the baseline the batched backend is
+    judged against.  Worker counts above the core count are skipped, and
+    the regression differ already restricts comparisons to history
+    entries with a matching ``cpu_count``, so sweeps from different
+    runners never diff against each other.
+    """
+    cpus = os.cpu_count() or 1
+    counts = [w for w in (1, 2, 4, 8) if w <= cpus] or [1]
+    out: Dict[str, dict] = {"cpus": cpus, "worker_counts": counts}
+    for w in counts:
+        exp = _build_jfat_many_small(params, "thread", w)
+        clients, states = exp.sample_round(0)
+
+        def one_round():
+            exp.run_round(0, clients, states)
+
+        t = _best_of(one_round, params["reps"])
+        samples = exp.config.clients_per_round * exp.config.local_iters * exp.config.batch_size
+        out[f"w{w}"] = {"seconds": t, "samples_per_sec": samples / t}
+        exp.close()
+    base = out[f"w{counts[0]}"]["seconds"]
+    out["scaling"] = {f"w{w}": base / out[f"w{w}"]["seconds"] for w in counts}
+    return out
+
+
 def run_mode(mode: str, params: dict) -> Dict[str, dict]:
     spec = MODES[mode]
     previous = set_fast_path(spec["fast_path"])
@@ -724,6 +897,14 @@ def _flat_metrics(entry: dict) -> Dict[str, float]:
         rec = entry.get("robust_agg", {}).get(variant)
         if rec is not None:
             out[f"robust_agg.{variant}"] = rec["rounds_per_sec"]
+    for variant in ("serial", "thread", "batched"):
+        rec = entry.get("client_batched", {}).get(variant)
+        if rec is not None:
+            out[f"client_batched.{variant}"] = rec["samples_per_sec"]
+    for w in entry.get("thread_scaling", {}).get("worker_counts", []):
+        rec = entry["thread_scaling"].get(f"w{w}")
+        if rec is not None:
+            out[f"thread_scaling.w{w}"] = rec["samples_per_sec"]
     return out
 
 
@@ -970,6 +1151,55 @@ def main() -> dict:
         )
     )
 
+    # Client-batched execution backend: fusion cohorts vs per-client dispatch.
+    previous_fast = set_fast_path(True)
+    try:
+        report["client_batched"] = bench_client_batched(params)
+    finally:
+        set_fast_path(previous_fast)
+    cb = report["client_batched"]
+    print(
+        format_table(
+            ["backend", "seconds", "samples/s"],
+            [
+                (name, f"{cb[name]['seconds']:.3f}", f"{cb[name]['samples_per_sec']:.1f}")
+                for name in ("serial", "thread", "batched")
+            ],
+            title=(
+                f"Client-batched backend (fusion width {cb['fusion_width']}) — "
+                f"{cb['workers']} worker(s), {cb['cpus']} cpu(s), bit-identical "
+                f"at widths {cb['identical_fusion_widths']} sync + depth-2 async"
+            ),
+        )
+    )
+    print(
+        f"batched vs serial: {cb['speedups']['batched_vs_serial']:.2f}x, "
+        f"batched vs thread: {cb['speedups']['batched_vs_thread']:.2f}x"
+    )
+
+    # Thread-backend scaling sweep (report-only baseline for the above).
+    previous_fast = set_fast_path(True)
+    try:
+        report["thread_scaling"] = bench_thread_scaling(params)
+    finally:
+        set_fast_path(previous_fast)
+    ts = report["thread_scaling"]
+    print(
+        format_table(
+            ["workers", "seconds", "samples/s", "scaling"],
+            [
+                (
+                    str(w),
+                    f"{ts[f'w{w}']['seconds']:.3f}",
+                    f"{ts[f'w{w}']['samples_per_sec']:.1f}",
+                    f"{ts['scaling'][f'w{w}']:.2f}x",
+                )
+                for w in ts["worker_counts"]
+            ],
+            title=f"Thread-backend scaling sweep — {ts['cpus']} cpu(s)",
+        )
+    )
+
     out_path = Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
     history = _load_history(out_path)
     for warning in _check_regressions(history, report):
@@ -1019,6 +1249,18 @@ def main() -> dict:
             "NOTE: <4-core runner; the >=1.2x overlapped round+eval and "
             "pipelined-async gates were skipped (both need idle cores to "
             "absorb cross-phase work)"
+        )
+    if cb["cpus"] >= 4:
+        if cb["speedups"]["batched_vs_thread"] < 2.0:
+            failures.append(
+                "client_batched batched-vs-thread speedup "
+                f"{cb['speedups']['batched_vs_thread']:.2f}x < 2.0x"
+            )
+    else:
+        print(
+            "NOTE: <4-core runner; the >=2.0x client-batched gate was "
+            "skipped (cohorts need idle cores to stripe over; thread "
+            "timings on shared small runners are noise)"
         )
     if ft["overhead_frac"] > 0.05:
         failures.append(

@@ -66,3 +66,20 @@ class ModelWithLoss:
 
         logits = self.logits(x)
         return -log_softmax(logits)[np.arange(len(y)), np.asarray(y)]
+
+
+class CohortModelWithLoss(ModelWithLoss):
+    """ModelWithLoss over a client-batched (K·B, ...) activation layout.
+
+    Swaps the scalar mean-CE for :class:`repro.nn.cohort.
+    CohortCrossEntropyLoss`, whose backward divides by the *per-client*
+    batch size — so the input gradients each client's slice sees are
+    bit-identical to a serial :class:`ModelWithLoss` on that client alone.
+    ``loss_and_input_grad`` returns the K per-client losses as the loss.
+    """
+
+    def __init__(self, model: Module, k: int, head: Optional[Module] = None):
+        super().__init__(model, head)
+        from repro.nn.cohort import CohortCrossEntropyLoss
+
+        self._ce = CohortCrossEntropyLoss(k)

@@ -10,7 +10,7 @@ Supports the two geometries the paper uses:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -119,6 +119,50 @@ def pgd_attack(
     rng = rng if rng is not None else np.random.default_rng(0)
     if config.rand_init:
         delta = random_init(x.shape, config.eps, config.norm, rng, dtype=x.dtype)
+    else:
+        delta = np.zeros_like(x)
+    if config.clip is not None:
+        lo, hi = config.clip
+        delta = np.clip(x + delta, lo, hi) - x
+    with attack_grad_scope():
+        for _ in range(config.steps):
+            _, grad = mwl.loss_and_input_grad(x + delta, y)
+            delta = delta + gradient_step(grad, config.alpha, config.norm)
+            delta = project(delta, config.eps, config.norm)
+            if config.clip is not None:
+                lo, hi = config.clip
+                delta = np.clip(x + delta, lo, hi) - x
+    return x + delta
+
+
+def cohort_pgd_attack(
+    mwl: ModelWithLoss,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: PGDConfig,
+    rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """PGD over a client-batched (K·B, ...) input stack.
+
+    ``mwl`` must slice its loss gradient per client (a
+    :class:`repro.attacks.base.CohortModelWithLoss` over a cohort-installed
+    model); the random start is drawn *per client* with that client's own
+    generator — consuming exactly the stream a serial
+    :func:`pgd_attack` on the client's (B, ...) batch would — and every
+    subsequent operation is per-sample, so each client's slice of the
+    result is bit-identical to its serial attack.
+    """
+    if config.eps == 0.0:
+        return x.copy()
+    k = len(rngs)
+    b = x.shape[0] // k
+    if config.rand_init:
+        delta = np.concatenate(
+            [
+                random_init((b,) + x.shape[1:], config.eps, config.norm, rng, dtype=x.dtype)
+                for rng in rngs
+            ]
+        )
     else:
         delta = np.zeros_like(x)
     if config.clip is not None:

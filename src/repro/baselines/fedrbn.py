@@ -28,6 +28,8 @@ from typing import Any, Callable, Dict, List, Optional
 import numpy as np
 
 from repro.attacks import ModelWithLoss, PGDConfig, pgd_attack
+from repro.attacks.base import CohortModelWithLoss
+from repro.attacks.pgd import cohort_pgd_attack
 from repro.core.aggregator import (
     blend_into,
     restore_segment,
@@ -36,7 +38,14 @@ from repro.core.aggregator import (
 from repro.data.dataset import DataLoader
 from repro.flsim.aggregation import AggregationError, weighted_average_states
 from repro.flsim.base import FederatedExperiment, FLClient, FLConfig
-from repro.flsim.local import standard_local_train
+from repro.flsim.executor import CohortFn
+from repro.flsim.local import cohort_standard_local_train, standard_local_train
+from repro.nn.cohort import (
+    CohortCrossEntropyLoss,
+    clear_cohort,
+    extract_cohort,
+    install_cohort,
+)
 from repro.hardware.devices import DeviceSampler, DeviceState
 from repro.hardware.flops import training_flops_per_iteration
 from repro.hardware.latency import LatencyModel, LocalTrainingCost
@@ -129,6 +138,102 @@ class FedRBN(FederatedExperiment):
                 p.grad *= 0.5
             opt.step()
 
+    def _cohort_dual_adversarial_train(
+        self,
+        model,
+        clients: List[FLClient],
+        lr: float,
+        rngs: List[np.random.Generator],
+    ) -> None:
+        """K fused AT clients' :meth:`_dual_adversarial_train`, stacked.
+
+        The adversarial/clean gradient halving operates on the per-client
+        ``slab_grad`` (elementwise over the K slices), and the dual-BN
+        mode switch routes running-statistic updates to the matching slab
+        buffers — each client's slice is bit-identical to its serial dual
+        pass.
+        """
+        cfg = self.config
+        k = len(clients)
+        model.train()
+        opt = SGD(
+            model.parameters(), lr=lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay
+        )
+        ce = CohortCrossEntropyLoss(k)
+        mwl = CohortModelWithLoss(model, k)
+        pgd = PGDConfig(eps=cfg.eps0, steps=cfg.train_pgd_steps, norm="linf")
+        loaders = [
+            DataLoader(
+                client.dataset,
+                batch_size=min(cfg.batch_size, client.num_samples),
+                shuffle=True,
+                rng=rng,
+            ).infinite()
+            for client, rng in zip(clients, rngs)
+        ]
+        for _ in range(cfg.local_iters):
+            batches = [next(it) for it in loaders]
+            x = np.concatenate([b[0] for b in batches])
+            y = np.concatenate([b[1] for b in batches])
+            set_dual_bn_mode(model, adversarial=True)
+            x_adv = cohort_pgd_attack(mwl, x, y, pgd, rngs)
+            opt.zero_grad()
+            ce(model(x_adv), y)
+            model.backward(ce.backward())
+            adv_grads = [p.slab_grad.copy() for p in model.parameters()]
+            set_dual_bn_mode(model, adversarial=False)
+            opt.zero_grad()
+            ce(model(x), y)
+            model.backward(ce.backward())
+            for p, g in zip(model.parameters(), adv_grads):
+                p.slab_grad += g
+                p.slab_grad *= 0.5
+            opt.step()
+
+    def _cohort_train_many(
+        self,
+        model,
+        items: List,
+        base_state: Dict[str, np.ndarray],
+        lr_t: float,
+        round_idx: int,
+    ) -> List[Dict[str, np.ndarray]]:
+        """Train a fused cohort on ``model``; returns per-client states.
+
+        The fusion key guarantees every member shares the AT/standard
+        branch (and the batch schedule), so one branch decision covers
+        the cohort.
+        """
+        cfg = self.config
+        clients = [client for client, _dev in items]
+        rngs = [self._client_rng(round_idx, client.cid) for client in clients]
+        is_at = self.can_afford_at(items[0][1])
+        try:
+            install_cohort(model, [base_state] * len(items))
+            if is_at:
+                self._cohort_dual_adversarial_train(model, clients, lr_t, rngs)
+            else:
+                set_dual_bn_mode(model, adversarial=False)
+                cohort_standard_local_train(
+                    model,
+                    [client.dataset for client in clients],
+                    iterations=cfg.local_iters,
+                    batch_size=cfg.batch_size,
+                    lr=lr_t,
+                    momentum=cfg.momentum,
+                    weight_decay=cfg.weight_decay,
+                    rngs=rngs,
+                )
+            return extract_cohort(model)
+        finally:
+            clear_cohort(model)
+
+    def _fuse_key(self, item):
+        """Fusion key: aligned batch schedule + the same AT/standard branch."""
+        client, dev = item
+        n = client.num_samples
+        return (n, min(self.config.batch_size, n), self.can_afford_at(dev))
+
     def _train_one(
         self,
         model,
@@ -182,9 +287,24 @@ class FedRBN(FederatedExperiment):
             is_at = self._train_one(model, client, dev, lr_t, rng)
             return snapshot_segment(model, 0, num_atoms), is_at, self._cost(dev, is_at)
 
+        def train_cohort(items, slot):
+            model = self._slot_model(slot)
+            trained = self._cohort_train_many(
+                model, items, global_snap, lr_t, round_idx
+            )
+            out = []
+            for state, (_client, dev) in zip(trained, items):
+                is_at = self.can_afford_at(dev)
+                out.append((state, is_at, self._cost(dev, is_at)))
+            return out
+
         results = self.scheduler.run_group(
             "train",
-            self._threat_wrap(round_idx, train_client, global_snap),
+            self._threat_wrap(
+                round_idx,
+                CohortFn(train_client, train_cohort, group_key=self._fuse_key),
+                global_snap,
+            ),
             list(zip(clients, states)),
         )
         all_states = [r[0] for r in results]
@@ -232,7 +352,13 @@ class FedRBN(FederatedExperiment):
             self._train_one(model, client, dev, lr_t, rng)
             return snapshot_segment(model, 0, num_atoms)
 
-        return train_client
+        def train_cohort(items, slot):
+            model = self._async_slot_model(slot)
+            return self._cohort_train_many(
+                model, items, base_state, lr_t, round_idx
+            )
+
+        return CohortFn(train_client, train_cohort, group_key=self._fuse_key)
 
     def async_client_costs(self, round_idx, clients, states):
         return [self._cost(dev, self.can_afford_at(dev)) for dev in states]

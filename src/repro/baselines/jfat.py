@@ -35,7 +35,9 @@ from repro.flsim.base import (
     FLClient,
     FLConfig,
 )
-from repro.flsim.local import adversarial_local_train
+from repro.flsim.executor import CohortFn
+from repro.flsim.local import adversarial_local_train, cohort_adversarial_local_train
+from repro.nn.cohort import clear_cohort, extract_cohort, install_cohort
 from repro.hardware.devices import DeviceSampler, DeviceState
 from repro.hardware.flops import training_flops_per_iteration
 from repro.hardware.latency import LatencyModel, LocalTrainingCost
@@ -111,7 +113,43 @@ class JointFAT(FederatedExperiment):
             )
             return snapshot_segment(model, 0, num_atoms)
 
-        return train_client
+        def train_cohort(items, slot):
+            # K fused clients: stack K copies of the round base into
+            # per-parameter slabs and run one stacked trainer pass.  Each
+            # client keeps its own RNG/loader stream, and the kernels
+            # reduce per client slice — bit-identical to K train_client
+            # calls (see repro.nn.cohort).
+            model = get_model(slot)
+            try:
+                install_cohort(model, [global_snap] * len(items))
+                cohort_adversarial_local_train(
+                    model,
+                    [client.dataset for client, _dev in items],
+                    iterations=cfg.local_iters,
+                    batch_size=cfg.batch_size,
+                    lr=lr_t,
+                    pgd=pgd,
+                    momentum=cfg.momentum,
+                    weight_decay=cfg.weight_decay,
+                    rngs=[
+                        self._client_rng(round_idx, client.cid)
+                        for client, _dev in items
+                    ],
+                )
+                return extract_cohort(model)
+            finally:
+                clear_cohort(model)
+
+        def fuse_key(item):
+            # Fusion needs aligned batch schedules: the loader's epoch
+            # permutation and per-iteration batch sizes are a pure function
+            # of (shard size, effective batch size), so equal keys mean
+            # every fused iteration concatenates K equal-size batches.
+            client, _dev = item
+            n = client.num_samples
+            return (n, min(cfg.batch_size, n))
+
+        return CohortFn(train_client, train_cohort, group_key=fuse_key)
 
     def run_round(
         self,

@@ -24,7 +24,9 @@ from repro.attacks.pgd import PGDConfig
 from repro.baselines.subnet import extract_submodel, scatter_submodel_state
 from repro.core.aggregator import blend_into, restore_segment
 from repro.flsim.base import FederatedExperiment, FLClient, FLConfig
-from repro.flsim.local import adversarial_local_train
+from repro.flsim.executor import CohortFn
+from repro.flsim.local import adversarial_local_train, cohort_adversarial_local_train
+from repro.nn.cohort import clear_cohort, extract_cohort, install_cohort
 from repro.hardware.devices import DeviceSampler, DeviceState
 from repro.hardware.flops import training_flops_per_iteration
 from repro.hardware.latency import LatencyModel, LocalTrainingCost
@@ -62,6 +64,53 @@ class PartialTrainingFAT(FederatedExperiment):
         if state is None:
             return 1.0
         return float(np.clip(state.avail_mem_bytes / self.r_max, self.min_ratio, 1.0))
+
+    #: Channel-selection strategies whose index maps are pure functions of
+    #: (ratio, round_idx) — ``select`` never draws from the client RNG —
+    #: so equal-ratio clients share identical sub-architectures *and*
+    #: identical masks, and may fuse into one stacked cohort.  ``random``
+    #: draws a fresh per-client subset and stays on the per-item path.
+    _FUSABLE_STRATEGIES = ("static", "rolling")
+
+    def _fuse_key(self, item):
+        """Fusion key: identical sub-architecture/mask + batch schedule."""
+        if self.strategy not in self._FUSABLE_STRATEGIES:
+            return None
+        client, dev = item
+        n = client.num_samples
+        return (self.client_ratio(dev), n, min(self.config.batch_size, n))
+
+    def _train_cohort_piece(
+        self, piece, items: List, lr_t: float, round_idx: int, pgd: PGDConfig
+    ) -> List:
+        """Adversarially train K fused clients on one extracted sub-model.
+
+        Every member's serial work unit would extract a bit-identical
+        sub-model (the fusion key guarantees an RNG-free strategy and an
+        equal ratio), so one extraction serves the whole cohort; the
+        trained per-client states come back from the slab slices.
+        """
+        cfg = self.config
+        piece_state = piece.model.state_dict()
+        try:
+            install_cohort(piece.model, [piece_state] * len(items))
+            cohort_adversarial_local_train(
+                piece.model,
+                [client.dataset for client, _dev in items],
+                iterations=cfg.local_iters,
+                batch_size=cfg.batch_size,
+                lr=lr_t,
+                pgd=pgd,
+                momentum=cfg.momentum,
+                weight_decay=cfg.weight_decay,
+                rngs=[
+                    self._client_rng(round_idx, client.cid)
+                    for client, _dev in items
+                ],
+            )
+            return extract_cohort(piece.model)
+        finally:
+            clear_cohort(piece.model)
 
     def run_round(
         self,
@@ -102,9 +151,32 @@ class PartialTrainingFAT(FederatedExperiment):
             update = (scattered, mask, float(client.num_samples))
             return update, self._cost(dev, piece.model)
 
+        def train_cohort(items, slot):
+            first_client, first_dev = items[0]
+            piece = extract_submodel(
+                self.global_model,
+                self.client_ratio(first_dev),
+                self.strategy,
+                round_idx=round_idx,
+                rng=self._client_rng(round_idx, first_client.cid),
+            )
+            trained = self._train_cohort_piece(piece, items, lr_t, round_idx, pgd)
+            out = []
+            for state, (client, dev) in zip(trained, items):
+                scattered, mask = scatter_submodel_state(
+                    state, piece.index_map, global_state
+                )
+                update = (scattered, mask, float(client.num_samples))
+                out.append((update, self._cost(dev, piece.model)))
+            return out
+
         results = self.scheduler.run_group(
             "train",
-            self._threat_wrap(round_idx, train_client, global_state),
+            self._threat_wrap(
+                round_idx,
+                CohortFn(train_client, train_cohort, group_key=self._fuse_key),
+                global_state,
+            ),
             list(zip(clients, states)),
         )
         updates = [r[0] for r in results]
@@ -146,7 +218,25 @@ class PartialTrainingFAT(FederatedExperiment):
             )
             return (scattered, mask, float(client.num_samples))
 
-        return train_client
+        def train_cohort(items, slot):
+            first_client, first_dev = items[0]
+            model = self._async_slot_model(slot)
+            restore_segment(model, base_state, 0, num_atoms)
+            piece = extract_submodel(
+                model,
+                self.client_ratio(first_dev),
+                self.strategy,
+                round_idx=round_idx,
+                rng=self._client_rng(round_idx, first_client.cid),
+            )
+            trained = self._train_cohort_piece(piece, items, lr_t, round_idx, pgd)
+            return [
+                scatter_submodel_state(state, piece.index_map, base_state)
+                + (float(client.num_samples),)
+                for state, (client, _dev) in zip(trained, items)
+            ]
+
+        return CohortFn(train_client, train_cohort, group_key=self._fuse_key)
 
     def async_client_costs(self, round_idx, clients, states):
         """Pre-training latency: slice each client's architecture and cost it.

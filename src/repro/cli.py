@@ -124,6 +124,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         train_pgd_steps=args.pgd_steps, eval_pgd_steps=5, eval_every=eval_every,
         eval_max_samples=150, seed=args.seed,
         executor_backend=args.executor, round_parallelism=args.round_parallelism,
+        fusion_width=args.fusion_width,
         eval_parallelism=args.eval_parallelism,
         aggregation_mode=args.aggregation_mode, max_staleness=args.max_staleness,
         pipeline_depth=args.pipeline_depth,
@@ -209,8 +210,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--train-per-class", type=int, default=80)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--executor", default="serial",
-                   choices=["serial", "thread", "process"],
-                   help="round execution backend (bit-identical results)")
+                   choices=["serial", "thread", "process", "batched"],
+                   help="round execution backend (bit-identical results); "
+                        "batched additionally fuses homogeneous clients "
+                        "into stacked cohorts (see --fusion-width)")
+    p.add_argument("--fusion-width", type=int, default=4,
+                   help="batched executor: max clients fused into one "
+                        "stacked cohort (default 4; 1 disables fusion)")
     p.add_argument("--round-parallelism", "--parallelism", dest="round_parallelism",
                    type=int, default=None,
                    help="worker cap for the round execution engine "

@@ -14,6 +14,7 @@ seeds ε_m for the next module's training stage.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -25,6 +26,7 @@ from repro.core.aggregator import (
     aggregate_modules,
     async_merge_schedule,
     merge_async_partial,
+    publish_snapshot,
     restore_segment,
     snapshot_segment,
 )
@@ -154,6 +156,10 @@ class FedProphet(FederatedExperiment):
         self.eps_feature = 0.0  # ε_{m-1}; unused for module 0 (raw-input ℓ∞)
         self.eps_star: List[float] = []  # fixed ε*_{m-1} per completed module
         self.stage_results: List[ModuleStageResult] = []
+        # Stage-end ε* probe, overlapped with the next stage's planning on
+        # a pooled executor: (module, group-or-value, stage_rounds, eval).
+        self._pending_probe = None
+        self._probe_model: Optional[CascadeModel] = None
         self.pert_log: List[PerturbationLogEntry] = []
 
         # Cumulative forward FLOPs of the fixed prefix before each atom.
@@ -606,10 +612,7 @@ class FedProphet(FederatedExperiment):
             if t >= budget:
                 break
             self.current_module = m
-            if m > 0:
-                base = self.eps_star[-1]
-                self.apa.start_module(base, prev_clean, prev_adv)
-                self.eps_feature = self.apa.epsilon
+            apa_started = m == 0
             best_metric = -np.inf
             stale = 0
             last_eval = EvalResult(clean_acc=0.0, pgd_acc=0.0)
@@ -617,6 +620,17 @@ class FedProphet(FederatedExperiment):
 
             while stage_rounds < cfg.rounds_per_module and t < budget:
                 clients, states = self.sample_round(t)
+                if not apa_started:
+                    # Resolve the previous stage's in-flight ε* probe here
+                    # — after this round's sampling/fault/threat planning,
+                    # which the probe overlaps with on a pooled executor —
+                    # then seed the APA for this module.  start_module is
+                    # pure APA arithmetic and sample_round never reads the
+                    # APA state, so the reordering is bit-identical.
+                    self._resolve_eps_star()
+                    self.apa.start_module(self.eps_star[-1], prev_clean, prev_adv)
+                    self.eps_feature = self.apa.epsilon
+                    apa_started = True
                 if self._fault_aborted():
                     # No training, no module progress metric: the aborted
                     # round burns budget but not the staleness counter.
@@ -683,22 +697,90 @@ class FedProphet(FederatedExperiment):
 
             # Fix module m: record ε*, C*, A*; measure base magnitude for m+1.
             prev_clean, prev_adv = last_eval.clean_acc, max(last_eval.pgd_acc or 0.0, 1e-3)
-            eps_star = self._collect_output_perturbation(m)
-            self.eps_star.append(eps_star)
-            self.stage_results.append(
-                ModuleStageResult(
-                    module=m,
-                    rounds=stage_rounds,
-                    final_clean_acc=last_eval.clean_acc,
-                    final_adv_acc=last_eval.pgd_acc or 0.0,
-                    eps_star=eps_star,
-                )
-            )
+            self._submit_eps_probe(m, stage_rounds, last_eval)
+        self._resolve_eps_star()
         return self.history
 
-    def _collect_output_perturbation(self, module_idx: int) -> float:
-        """Average over sampled clients of max ‖Δz_m‖ (seeds ε_m, Eq. 11)."""
+    def _submit_eps_probe(self, module_idx: int, stage_rounds: int, last_eval) -> None:
+        """Launch the stage-end ε* probe without blocking the round loop.
+
+        The probe reads only *fixed* state — the just-completed module's
+        weights (frozen from here on), its aux head, and the stage-end
+        ``eps_feature`` — and draws from a self-contained RNG stream
+        (``seed + 41 + module``), so it is a pure function of the
+        published snapshot: its result cannot depend on when or where it
+        runs.  On a pooled executor it is submitted as a single-task
+        scheduler group over a :func:`publish_snapshot` of the stage
+        weights and a private head copy, running on an idle worker while
+        the main thread plans the next stage; elsewhere it runs inline.
+        :meth:`_resolve_eps_star` gathers it at the next consumption
+        point (APA seeding, or the end of the cascade).
+        """
+        if not self.executor.pooled:
+            self._pending_probe = (
+                module_idx,
+                self._collect_output_perturbation(module_idx),
+                stage_rounds,
+                last_eval,
+            )
+            return
+        published = publish_snapshot(self.global_model, version=module_idx)
+        head = copy.deepcopy(self.heads[module_idx])
+        eps_feature = self.eps_feature
+
+        def probe(_item, _slot):
+            model = self._probe_model
+            if model is None:
+                model = self.model_builder(np.random.default_rng(self.config.seed + 7))
+                self._probe_model = model
+            model.load_state_dict(dict(published.state))
+            return self._collect_output_perturbation(
+                module_idx, model=model, head=head, eps_feature=eps_feature
+            )
+
+        group = self.scheduler.submit_group("eps_probe", probe, [module_idx])
+        self._pending_probe = (module_idx, group, stage_rounds, last_eval)
+
+    def _resolve_eps_star(self) -> None:
+        """Gather the in-flight stage-end probe (if any): record ε* + stage."""
+        pending = self._pending_probe
+        if pending is None:
+            return
+        self._pending_probe = None
+        module_idx, value, stage_rounds, last_eval = pending
+        eps_star = float(value if isinstance(value, float) else value.results()[0])
+        self.eps_star.append(eps_star)
+        self.stage_results.append(
+            ModuleStageResult(
+                module=module_idx,
+                rounds=stage_rounds,
+                final_clean_acc=last_eval.clean_acc,
+                final_adv_acc=last_eval.pgd_acc or 0.0,
+                eps_star=eps_star,
+            )
+        )
+
+    def _collect_output_perturbation(
+        self,
+        module_idx: int,
+        model: Optional[CascadeModel] = None,
+        head: Optional[AuxHead] = None,
+        eps_feature: Optional[float] = None,
+    ) -> float:
+        """Average over sampled clients of max ‖Δz_m‖ (seeds ε_m, Eq. 11).
+
+        ``model``/``head``/``eps_feature`` let the overlapped probe run
+        against a frozen snapshot replica instead of the live objects;
+        the RNG stream is derived from (seed, module) alone either way,
+        so the value is independent of which copy it reads.
+        """
         cfg = self.config
+        if model is None:
+            model = self.global_model
+        if head is None:
+            head = self.heads[module_idx]
+        if eps_feature is None:
+            eps_feature = self.eps_feature
         start, stop = self.partition[module_idx]
         rng = np.random.default_rng(cfg.seed + 41 + module_idx)
         ids = rng.choice(
@@ -708,14 +790,14 @@ class FedProphet(FederatedExperiment):
         for cid in ids:
             values.append(
                 measure_output_perturbation(
-                    self.global_model,
+                    model,
                     start,
                     stop,
-                    self.heads[module_idx],
+                    head,
                     self.clients[cid].dataset,
                     mu=cfg.mu,
                     eps0=cfg.eps0,
-                    eps_feature=self.eps_feature,
+                    eps_feature=eps_feature,
                     attack_steps=max(1, cfg.attack_steps_features // 2),
                     batch_size=cfg.batch_size,
                     rng=rng,

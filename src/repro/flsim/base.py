@@ -23,7 +23,7 @@ from repro.data.dataset import ArrayDataset
 from repro.data.partition import pathological_partition
 from repro.data.synthetic import SyntheticImageTask
 from repro.flsim.eval_executor import EvalExecutor, EvalTarget, PendingEval
-from repro.flsim.executor import BACKENDS, RoundExecutor
+from repro.flsim.executor import BACKENDS, CohortFn, RoundExecutor
 from repro.flsim.aggregation import AggregationError
 from repro.flsim.faults import FaultPlan, RoundFaults
 from repro.flsim.journal import JournalError, RunJournal
@@ -46,9 +46,14 @@ class FLConfig:
     ``executor_backend`` / ``round_parallelism`` select the round execution
     engine (:class:`repro.flsim.executor.RoundExecutor`): clients within a
     round train as independent work units on ``serial`` (default),
-    ``thread``, or ``process`` workers, with bit-identical results across
-    backends.  ``round_parallelism`` caps the worker count (None: one per
-    CPU core).
+    ``thread``, ``process``, or ``batched`` workers, with bit-identical
+    results across backends.  ``round_parallelism`` caps the worker count
+    (None: one per CPU core).  The ``batched`` backend fuses homogeneous
+    clients into stacked cohorts of at most ``fusion_width`` (per-client
+    weight slabs against a ``(K·B, ...)`` activation layout — see
+    :mod:`repro.nn.cohort`); heterogeneous clients fall back to the
+    thread path per group, and cohorts still spread over the persistent
+    thread pool.
 
     ``eval_backend`` / ``eval_parallelism`` configure the sharded
     evaluation engine (:class:`repro.flsim.eval_executor.EvalExecutor`)
@@ -137,6 +142,7 @@ class FLConfig:
     seed: int = 0
     executor_backend: str = "serial"
     round_parallelism: Optional[int] = None
+    fusion_width: int = 4
     eval_backend: Optional[str] = None
     eval_parallelism: Optional[int] = None
     aggregation_mode: str = "sync"
@@ -175,6 +181,8 @@ class FLConfig:
             )
         if self.round_parallelism is not None and self.round_parallelism < 1:
             raise ValueError("round_parallelism must be >= 1")
+        if self.fusion_width < 1:
+            raise ValueError("fusion_width must be >= 1")
         if self.eval_backend is not None and self.eval_backend not in BACKENDS:
             raise ValueError(
                 f"eval_backend must be one of {BACKENDS} (or None to follow "
@@ -389,7 +397,11 @@ class FederatedExperiment(ABC):
                 f"(set checkpoint_every=0; journalling and fault injection "
                 f"still work)"
             )
-        self.executor = RoundExecutor(config.executor_backend, config.round_parallelism)
+        self.executor = RoundExecutor(
+            config.executor_backend,
+            config.round_parallelism,
+            fusion_width=config.fusion_width,
+        )
         self.scheduler = FLScheduler(self.executor)
         self.eval_executor = EvalExecutor(
             RoundExecutor(
@@ -694,7 +706,10 @@ class FederatedExperiment(ABC):
         ``base`` is the round's training base (what the deltas are
         measured against); ``fn(item, slot)`` must take ``(client,
         device_state)`` items.  Honest rounds return ``fn`` unchanged, so
-        an inactive plan costs nothing.
+        an inactive plan costs nothing.  A :class:`~repro.flsim.executor.
+        CohortFn` stays a ``CohortFn`` (same ``group_key``) with *both*
+        paths wrapped — the poisoning applies to each client's extracted
+        update after training, so cohort composition is unaffected.
         """
         plan = self.config.threat_plan
         threats = threats if threats is not None else self._round_threats
@@ -706,11 +721,29 @@ class FederatedExperiment(ABC):
         ):
             return fn
 
-        def poisoned_fn(item, slot):
-            update = fn(item, slot)
+        def poison(item, update):
             return self._maybe_poison_update(
                 round_idx, item[0].cid, update, base, threats
             )
+
+        if isinstance(fn, CohortFn):
+            inner = fn
+
+            def poisoned_item_fn(item, slot):
+                return poison(item, inner.fn(item, slot))
+
+            def poisoned_cohort_fn(items, slot):
+                return [
+                    poison(item, update)
+                    for item, update in zip(items, inner.run_cohort(items, slot))
+                ]
+
+            return CohortFn(
+                poisoned_item_fn, poisoned_cohort_fn, group_key=inner.group_key
+            )
+
+        def poisoned_fn(item, slot):
+            return poison(item, fn(item, slot))
 
         return poisoned_fn
 
@@ -1242,16 +1275,12 @@ class FederatedExperiment(ABC):
 
         Overlap streams eval shards through the *round* executor's
         persistent pool (that is the point: idle round workers absorb
-        them), so it only buys concurrency on a multi-worker thread
-        backend.  Otherwise — serial, process, or a one-worker thread
-        pool — the run loop falls back to the barrier path, which honours
-        ``eval_backend``/``eval_parallelism``.
+        them), so it only buys concurrency on a multi-worker pooled
+        backend (``thread`` or ``batched``).  Otherwise — serial,
+        process, or a one-worker pool — the run loop falls back to the
+        barrier path, which honours ``eval_backend``/``eval_parallelism``.
         """
-        return (
-            self.config.overlap_eval
-            and self.executor.backend == "thread"
-            and self.executor.max_workers > 1
-        )
+        return self.config.overlap_eval and self.executor.pooled
 
     def describe_parallelism(self) -> str:
         """The resolved execution-engine settings, for verbose reporting."""
@@ -1260,11 +1289,17 @@ class FederatedExperiment(ABC):
         if self.overlap_active:
             overlap = "on (eval shards share the round pool)"
         elif cfg.overlap_eval:
-            overlap = "requested (inactive: needs the thread round backend)"
+            overlap = "requested (inactive: needs a pooled round backend)"
         else:
             overlap = "off"
+        engine = f"round engine: {ex.backend} x{ex.max_workers}"
+        if ex.backend == "batched":
+            engine += (
+                f" (fusion width {ex.fusion_width}; homogeneous clients "
+                f"fuse into stacked cohorts, others fall back per item)"
+            )
         parts = [
-            f"round engine: {ex.backend} x{ex.max_workers}",
+            engine,
             f"eval engine: {ev.backend} x{ev.max_workers}",
             f"aggregation: {cfg.aggregation_mode}"
             + (

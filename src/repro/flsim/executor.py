@@ -18,7 +18,17 @@ backends:
   copy-on-write snapshot of the experiment (global model, shards, prefix
   cache) at round start, trains its stripe of clients, and ships the
   resulting segment states back through a pipe.  Sidesteps the GIL
-  entirely; POSIX only.
+  entirely; POSIX only;
+* ``batched`` — client fusion: homogeneous clients are grouped into
+  **fusion cohorts** of width ``fusion_width`` and each cohort runs as
+  *one* stacked forward/backward (per-client weight slabs against a
+  ``(K·B, ...)`` activation layout — see :mod:`repro.nn.cohort`).  Work
+  functions opt in by being a :class:`CohortFn` (plain functions fall
+  back to the thread path); cohorts only form among items with equal
+  ``group_key`` (same architecture/segment/mask *and* the same local
+  batch schedule), everything else stays a singleton.  Cohorts are still
+  spread over the persistent thread pool, so fusion composes with
+  thread-level parallelism.
 
 Determinism contract: **parallel output is bit-identical to serial**.
 Work items are striped over workers deterministically, results are
@@ -39,7 +49,47 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "batched")
+
+#: Default fusion-cohort width for the ``batched`` backend.
+DEFAULT_FUSION_WIDTH = 4
+
+
+class CohortFn:
+    """A slot-aware work function that also knows how to run fused cohorts.
+
+    The ``batched`` backend needs three things from a round's work
+    function; everything else treats a ``CohortFn`` as the plain per-item
+    callable, so experiments can hand the same object to any backend:
+
+    * ``fn(item, slot)`` — the serial per-item path (also the fallback for
+      singleton cohorts and non-batched backends);
+    * ``cohort_fn(items, slot)`` — run K homogeneous items as one fused
+      cohort, returning their results in item order, bit-identical to K
+      ``fn`` calls;
+    * ``group_key(item)`` — hashable fusion key.  Items may be fused only
+      when their keys are equal; ``None`` pins an item to the serial path
+      (heterogeneous segment/mask shapes, ragged batch schedules).
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any, int], Any],
+        cohort_fn: Callable[[List[Any], int], List[Any]],
+        group_key: Optional[Callable[[Any], Any]] = None,
+    ):
+        self.fn = fn
+        self.cohort_fn = cohort_fn
+        self._group_key = group_key
+
+    def __call__(self, item: Any, slot: int) -> Any:
+        return self.fn(item, slot)
+
+    def run_cohort(self, items: List[Any], slot: int) -> List[Any]:
+        return self.cohort_fn(items, slot)
+
+    def group_key(self, item: Any) -> Any:
+        return self._group_key(item) if self._group_key is not None else None
 
 # Fork-inherited work description for the process backend.  Set immediately
 # before the worker pool is forked and cleared after the round; children
@@ -61,19 +111,29 @@ class RoundExecutor:
     Parameters
     ----------
     backend:
-        One of ``"serial"``, ``"thread"``, ``"process"``.
+        One of ``"serial"``, ``"thread"``, ``"process"``, ``"batched"``.
     max_workers:
         Parallelism cap; defaults to ``os.cpu_count()``.  The effective
         worker count for a round is ``min(max_workers, len(items))``.
+    fusion_width:
+        Maximum fusion-cohort width K for the ``batched`` backend
+        (default :data:`DEFAULT_FUSION_WIDTH`); ignored elsewhere.
     """
 
-    def __init__(self, backend: str = "serial", max_workers: Optional[int] = None):
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        fusion_width: Optional[int] = None,
+    ):
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown executor backend {backend!r}; expected one of {BACKENDS}"
             )
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if fusion_width is not None and fusion_width < 1:
+            raise ValueError("fusion_width must be >= 1")
         if backend == "process" and "fork" not in multiprocessing.get_all_start_methods():
             raise ValueError(
                 "the process backend requires fork(); use backend='thread' on "
@@ -81,6 +141,9 @@ class RoundExecutor:
             )
         self.backend = backend
         self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self.fusion_width = (
+            fusion_width if fusion_width is not None else DEFAULT_FUSION_WIDTH
+        )
         self._thread_pool: Optional[ThreadPoolExecutor] = None
 
     @property
@@ -131,17 +194,57 @@ class RoundExecutor:
         """
         return self.backend == "process" and self.workers_for(num_items) > 1
 
+    @property
+    def pooled(self) -> bool:
+        """Whether this backend runs work through the persistent thread pool.
+
+        The scheduler, the async pipeline, and eval overlap all key their
+        concurrency structure on this (the ``batched`` backend is the
+        thread backend plus client fusion — same pool, same slot model).
+        """
+        return self.backend in ("thread", "batched") and self.max_workers > 1
+
     def slots_for(self, num_items: int) -> List[int]:
         """The worker-slot ids :meth:`map` will hand to the work function.
 
         Experiments pre-sync one model workspace per slot before launching
         the round, so this must exactly cover what ``map`` uses: all stripe
-        ids for the thread backend, slot 0 otherwise (the serial loop runs
-        in the caller's workspace; forked children own private copies).
+        ids for the pooled backends (``batched`` cohorts occupy a subset of
+        the thread backend's stripes), slot 0 otherwise (the serial loop
+        runs in the caller's workspace; forked children own private
+        copies).
         """
-        if self.backend == "thread":
+        if self.backend in ("thread", "batched"):
             return list(range(self.workers_for(num_items)))
         return [0]
+
+    def plan_cohorts(self, fn: CohortFn, items: Sequence[Any]) -> List[List[int]]:
+        """Deterministic fusion plan: item indices grouped into cohorts.
+
+        Items sharing a non-``None`` ``group_key`` coalesce (in input
+        order) into chunks of at most ``fusion_width``; everything else is
+        a singleton.  A pure function of ``(keys, fusion_width)`` — load,
+        scheduling, and worker count cannot leak into cohort composition.
+        """
+        groups: dict = {}
+        singletons: List[List[int]] = []
+        order: List[Any] = []
+        for i, item in enumerate(items):
+            key = fn.group_key(item)
+            if key is None:
+                singletons.append([i])
+                continue
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(i)
+        cohorts: List[List[int]] = list(singletons)
+        for key in order:
+            idxs = groups[key]
+            for start in range(0, len(idxs), self.fusion_width):
+                cohorts.append(idxs[start : start + self.fusion_width])
+        cohorts.sort(key=lambda c: c[0])
+        return cohorts
 
     def map(self, fn: Callable[[Any, int], Any], items: Sequence[Any]) -> List[Any]:
         """Run ``fn(item, slot)`` for every item; results in input order.
@@ -154,9 +257,11 @@ class RoundExecutor:
         items = list(items)
         if not items:
             return []
+        if self.backend == "batched" and isinstance(fn, CohortFn):
+            return self._map_batched(fn, items)
         if self.backend == "serial" or self.workers_for(len(items)) == 1:
             return [fn(item, 0) for item in items]
-        if self.backend == "thread":
+        if self.backend in ("thread", "batched"):
             return self._map_thread(fn, items)
         return self._map_process(fn, items)
 
@@ -168,6 +273,32 @@ class RoundExecutor:
         def run_stripe(w: int) -> None:
             for i in range(w, len(items), num_workers):
                 results[i] = fn(items[i], w)
+
+        futures = [self.thread_pool.submit(run_stripe, w) for w in range(num_workers)]
+        for future in futures:
+            future.result()
+        return results
+
+    def _map_batched(self, fn: CohortFn, items: List[Any]) -> List[Any]:
+        cohorts = self.plan_cohorts(fn, items)
+        results: List[Any] = [None] * len(items)
+
+        def run_cohort(idxs: List[int], slot: int) -> None:
+            if len(idxs) == 1:
+                results[idxs[0]] = fn(items[idxs[0]], slot)
+                return
+            for i, result in zip(idxs, fn.run_cohort([items[i] for i in idxs], slot)):
+                results[i] = result
+
+        num_workers = self.workers_for(len(cohorts))
+        if num_workers == 1:
+            for idxs in cohorts:
+                run_cohort(idxs, 0)
+            return results
+
+        def run_stripe(w: int) -> None:
+            for j in range(w, len(cohorts), num_workers):
+                run_cohort(cohorts[j], w)
 
         futures = [self.thread_pool.submit(run_stripe, w) for w in range(num_workers)]
         for future in futures:

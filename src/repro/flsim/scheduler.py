@@ -58,7 +58,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.flsim.executor import RoundExecutor
+from repro.flsim.executor import CohortFn, RoundExecutor
 
 
 class SlotPool:
@@ -203,7 +203,7 @@ class FLScheduler:
         Callers pre-sync one workspace per listed slot before submitting,
         exactly as they do for ``RoundExecutor.map``.
         """
-        if self.executor.backend == "thread":
+        if self.executor.backend in ("thread", "batched"):
             return list(range(self.executor.workers_for(num_items)))
         return [0]
 
@@ -270,7 +270,13 @@ class FLScheduler:
         items: List[Any],
         slot_pool: Optional[SlotPool] = None,
     ) -> None:
-        if self.executor.backend == "thread" and self.executor.max_workers > 1:
+        if self.executor.backend == "batched" and isinstance(fn, CohortFn):
+            self._launch_batched(group, fn, items, slot_pool)
+            return
+        if (
+            self.executor.backend in ("thread", "batched")
+            and self.executor.max_workers > 1
+        ):
             slots = (
                 slot_pool
                 if slot_pool is not None
@@ -303,6 +309,86 @@ class FLScheduler:
                     group._complete(j, None, error)
                 return
             group._complete(i, result, None)
+
+    def _launch_batched(
+        self,
+        group: TaskGroup,
+        fn: CohortFn,
+        items: List[Any],
+        slot_pool: Optional[SlotPool] = None,
+    ) -> None:
+        """Dispatch a group as fusion cohorts (the ``batched`` backend).
+
+        One pool task per cohort: the cohort leases a single slot, runs the
+        stacked forward/backward, and completes every member index —
+        cohorts are planned per group, so the async pipeline's per-round
+        groups never fuse clients across base versions.
+        """
+        cohorts = self.executor.plan_cohorts(fn, items)
+        if self.executor.max_workers > 1:
+            slots = (
+                slot_pool
+                if slot_pool is not None
+                else SlotPool(self.executor.workers_for(len(items)))
+            )
+            pool = self.executor.thread_pool
+            for idxs in cohorts:
+                pool.submit(
+                    self._run_cohort_task,
+                    group,
+                    fn,
+                    idxs,
+                    [items[i] for i in idxs],
+                    slots,
+                )
+            return
+        done = [False] * len(items)  # inline 1-worker path, fail fast
+        for idxs in cohorts:
+            try:
+                results = self._cohort_results(fn, idxs, [items[i] for i in idxs], 0)
+            except BaseException as error:
+                for i in range(len(items)):
+                    if not done[i]:
+                        group._complete(i, None, error)
+                return
+            for i, result in zip(idxs, results):
+                group._complete(i, result, None)
+                done[i] = True
+
+    @staticmethod
+    def _cohort_results(
+        fn: CohortFn, idxs: List[int], cohort_items: List[Any], slot: int
+    ) -> List[Any]:
+        if len(idxs) == 1:
+            return [fn(cohort_items[0], slot)]
+        results = fn.run_cohort(cohort_items, slot)
+        if len(results) != len(idxs):
+            raise RuntimeError(
+                f"cohort fn returned {len(results)} results for "
+                f"{len(idxs)} items"
+            )
+        return results
+
+    @staticmethod
+    def _run_cohort_task(
+        group: TaskGroup,
+        fn: CohortFn,
+        idxs: List[int],
+        cohort_items: List[Any],
+        slots: SlotPool,
+    ) -> None:
+        slot = slots.acquire()
+        try:
+            try:
+                results = FLScheduler._cohort_results(fn, idxs, cohort_items, slot)
+            except BaseException as error:
+                for i in idxs:
+                    group._complete(i, None, error)
+                return
+            for i, result in zip(idxs, results):
+                group._complete(i, result, None)
+        finally:
+            slots.release(slot)
 
     @staticmethod
     def _run_task(group: TaskGroup, fn, index: int, item: Any, slots: SlotPool) -> None:
@@ -422,11 +508,7 @@ class CrossRoundPipeline:
         self._last_dispatch_time = 0.0
         self._drain_watermarks: List[float] = []  # running max drain per dispatch
         executor = scheduler.executor
-        self._slot_pool = (
-            SlotPool(executor.max_workers)
-            if executor.backend == "thread" and executor.max_workers > 1
-            else None
-        )
+        self._slot_pool = SlotPool(executor.max_workers) if executor.pooled else None
 
     @property
     def in_flight(self) -> int:

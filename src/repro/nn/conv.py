@@ -61,6 +61,8 @@ class Conv2d(Module):
         # retain them — they dominate activation memory.
         self._cols = cols if param_grads_enabled() else None
         self._x_shape = x.shape
+        if self._cohort_k and self.weight.slab is not None:
+            return self._forward_cohort(cols, x.shape[0], out_h, out_w)
         w2d = self.weight.data.reshape(self.out_channels, -1)
         # (N, C_out, L) = (C_out, CKK) @ (N, CKK, L), batched over N
         out = np.matmul(w2d, cols)
@@ -69,6 +71,8 @@ class Conv2d(Module):
         return out.reshape(x.shape[0], self.out_channels, out_h, out_w)
 
     def backward(self, grad_out: np.ndarray, param_grads: bool = True) -> np.ndarray:
+        if self._cohort_k and self.weight.slab is not None:
+            return self._backward_cohort(grad_out, self._cohort_k, param_grads)
         n = grad_out.shape[0]
         g2d = grad_out.reshape(n, self.out_channels, -1)
         w2d = self.weight.data.reshape(self.out_channels, -1)
@@ -85,5 +89,57 @@ class Conv2d(Module):
                 self.bias.grad += g2d.sum(axis=(0, 2))
         self._cols = None  # single-shot cache: release once consumed
         grad_cols = np.matmul(w2d.T, g2d)
+        k, s, p = self.kernel_size, self.stride, self.padding
+        return col2im(grad_cols, self._x_shape, k, k, s, p)
+
+    # -- client-batched (cohort) path -------------------------------------
+    # The (K·B, CKK, L) columns regroup to (K, B, CKK, L); one broadcast
+    # GEMM per direction applies each client's (C_out, CKK) weight slab to
+    # its own B samples — bit-identical per slice to the serial broadcast-
+    # over-N matmul.  The weight/bias reductions (tensordot / axis sums)
+    # run per client on contiguous slice views so the summation order is
+    # exactly the serial client's.
+    def _forward_cohort(
+        self, cols: np.ndarray, n: int, out_h: int, out_w: int
+    ) -> np.ndarray:
+        kk = self._cohort_k
+        b = n // kk
+        ckk = cols.shape[1]
+        colsv = cols.reshape(kk, b, ckk, cols.shape[2])
+        wslab = self.weight.slab.reshape(kk, self.out_channels, ckk)
+        # (K, B, C_out, L) = (K, 1, C_out, CKK) @ (K, B, CKK, L)
+        out = np.matmul(wslab[:, None], colsv)
+        if self.use_bias:
+            out = out + self.bias.slab[:, None, :, None]
+        return out.reshape(n, self.out_channels, out_h, out_w)
+
+    def _backward_cohort(
+        self, grad_out: np.ndarray, kk: int, param_grads: bool
+    ) -> np.ndarray:
+        n = grad_out.shape[0]
+        b = n // kk
+        g2d = np.ascontiguousarray(grad_out).reshape(n, self.out_channels, -1)
+        g2v = g2d.reshape(kk, b, self.out_channels, g2d.shape[2])
+        ckk = self.in_channels * self.kernel_size * self.kernel_size
+        wslab = self.weight.slab.reshape(kk, self.out_channels, ckk)
+        if param_grads and param_grads_enabled():
+            if self._cols is None:
+                raise RuntimeError(
+                    "Conv2d.backward needs parameter gradients but the "
+                    "forward pass ran input-grad-only (no column cache)"
+                )
+            colsv = self._cols.reshape(kk, b, ckk, self._cols.shape[2])
+            w_grad = self.weight.slab_grad
+            b_grad = self.bias.slab_grad if self.use_bias else None
+            w_shape = self.weight.data.shape
+            for i in range(kk):
+                grad_w = np.tensordot(g2v[i], colsv[i], axes=([0, 2], [0, 2]))
+                w_grad[i] += grad_w.reshape(w_shape)
+                if b_grad is not None:
+                    b_grad[i] += g2v[i].sum(axis=(0, 2))
+        self._cols = None  # single-shot cache: release once consumed
+        # (K, B, CKK, L) = (K, 1, CKK, C_out) @ (K, B, C_out, L)
+        grad_cols = np.matmul(wslab.transpose(0, 2, 1)[:, None], g2v)
+        grad_cols = grad_cols.reshape(n, ckk, grad_cols.shape[3])
         k, s, p = self.kernel_size, self.stride, self.padding
         return col2im(grad_cols, self._x_shape, k, k, s, p)

@@ -24,13 +24,21 @@ class Parameter:
     Floating-point data is cast to the active compute dtype (see
     :mod:`repro.nn.dtype`) at construction, so the dtype policy is enforced
     no matter which code path creates the parameter.
+
+    ``slab``/``slab_grad`` hold the client-batched state of the ``batched``
+    executor backend: a ``(K, *data.shape)`` stack of K clients' values for
+    this parameter (see :mod:`repro.nn.cohort`).  While a slab is installed
+    the cohort-aware layers ignore ``data``/``grad`` and operate on the
+    slab; ``data`` keeps the last serial value untouched.
     """
 
-    __slots__ = ("data", "grad")
+    __slots__ = ("data", "grad", "slab", "slab_grad")
 
     def __init__(self, data: np.ndarray):
         self.data = as_compute(np.asarray(data))
         self.grad = np.zeros_like(self.data)
+        self.slab: Optional[np.ndarray] = None
+        self.slab_grad: Optional[np.ndarray] = None
 
     @property
     def shape(self) -> Tuple[int, ...]:
@@ -42,6 +50,8 @@ class Parameter:
 
     def zero_grad(self) -> None:
         self.grad[...] = 0.0
+        if self.slab_grad is not None:
+            self.slab_grad[...] = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Parameter(shape={self.data.shape}, dtype={self.data.dtype})"
@@ -63,10 +73,17 @@ class Module:
     single-slot), which is all the training loops in this repo need.
     """
 
+    # Cohort width of the ``batched`` executor backend: 0 = serial layout,
+    # K > 0 = a (K·B, ...) activation layout with per-client parameter slabs
+    # installed (see repro.nn.cohort).  Class-level default so every module
+    # has the attribute without touching __init__ cost.
+    _cohort_k: int = 0
+
     def __init__(self) -> None:
         object.__setattr__(self, "_params", {})
         object.__setattr__(self, "_buffers", {})
         object.__setattr__(self, "_children", {})
+        object.__setattr__(self, "_slab_buffers", {})
         object.__setattr__(self, "training", True)
 
     # -- attribute routing ------------------------------------------------

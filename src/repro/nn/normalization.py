@@ -36,9 +36,21 @@ class BatchNorm2d(Module):
         self.set_buffer("running_mean", mean)
         self.set_buffer("running_var", var)
 
+    # Cohort variants of the bank switch: per-client (K, C) stat slabs live
+    # in ``_slab_buffers`` while a cohort is installed (repro.nn.cohort).
+    def _get_running_slab(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._slab_buffers["running_mean"], self._slab_buffers["running_var"]
+
+    def _set_running_slab(self, mean: np.ndarray, var: np.ndarray) -> None:
+        dtype = self._buffers["running_mean"].dtype
+        self._slab_buffers["running_mean"] = np.asarray(mean, dtype=dtype)
+        self._slab_buffers["running_var"] = np.asarray(var, dtype=dtype)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.num_features:
             raise ValueError(f"BatchNorm2d({self.num_features}) got shape {x.shape}")
+        if self._cohort_k and self.weight.slab is not None:
+            return self._forward_cohort(x, self._cohort_k)
         if self.training:
             mean = x.mean(axis=(0, 2, 3))
             var = x.var(axis=(0, 2, 3))
@@ -71,6 +83,8 @@ class BatchNorm2d(Module):
         )
 
     def backward(self, grad_out: np.ndarray, param_grads: bool = True) -> np.ndarray:
+        if self._cohort_k and self.weight.slab is not None:
+            return self._backward_cohort(grad_out, self._cohort_k, param_grads)
         n, _, h, w = grad_out.shape
         count = n * h * w
         if param_grads and param_grads_enabled():
@@ -94,6 +108,85 @@ class BatchNorm2d(Module):
         return (inv_std / count) * (
             count * g_xhat - sum_g - x_hat * sum_gx
         )
+
+    # -- client-batched (cohort) path -------------------------------------
+    # The (K·B, C, H, W) activations regroup to (K, B, C, H, W); batch
+    # statistics and every gradient reduction are computed per client on
+    # contiguous slice views (identical layout to a standalone (B, C, H, W)
+    # batch, so the summation order matches serial exactly), while the
+    # normalisation itself is one elementwise broadcast over the slab.
+    def _forward_cohort(self, x: np.ndarray, k: int) -> np.ndarray:
+        n, c, h, w = x.shape
+        b = n // k
+        xv = x.reshape(k, b, c, h, w)
+        if self.training:
+            mean = np.empty((k, c), dtype=x.dtype)
+            var = np.empty((k, c), dtype=x.dtype)
+            for i in range(k):
+                mean[i] = xv[i].mean(axis=(0, 2, 3))
+                var[i] = xv[i].var(axis=(0, 2, 3))
+            r_mean, r_var = self._get_running_slab()
+            m = self.momentum
+            self._set_running_slab(
+                (1 - m) * r_mean + m * mean,
+                (1 - m) * r_var + m * var,
+            )
+            self._batch_stats = True
+        else:
+            mean, var = self._get_running_slab()
+            self._batch_stats = False
+        self._inv_std = 1.0 / np.sqrt(var + self.eps)  # (K, C)
+        if not (self._batch_stats or param_grads_enabled()):
+            self._x_hat = None
+            scale = self.weight.slab * self._inv_std
+            shift = self.bias.slab - mean * scale
+            out = (
+                xv * scale[:, None, :, None, None]
+                + shift[:, None, :, None, None]
+            )
+            return out.reshape(n, c, h, w)
+        x_hat = (
+            xv - mean[:, None, :, None, None]
+        ) * self._inv_std[:, None, :, None, None]
+        self._x_hat = x_hat  # (K, B, C, H, W)
+        out = (
+            self.weight.slab[:, None, :, None, None] * x_hat
+            + self.bias.slab[:, None, :, None, None]
+        )
+        return out.reshape(n, c, h, w)
+
+    def _backward_cohort(
+        self, grad_out: np.ndarray, k: int, param_grads: bool
+    ) -> np.ndarray:
+        n, c, h, w = grad_out.shape
+        b = n // k
+        count = b * h * w  # per-client reduction count, as in serial
+        gv = np.ascontiguousarray(grad_out).reshape(k, b, c, h, w)
+        if param_grads and param_grads_enabled():
+            if self._x_hat is None:
+                raise RuntimeError(
+                    "BatchNorm2d.backward needs parameter gradients but the "
+                    "forward pass ran input-grad-only (no x_hat cache)"
+                )
+            w_grad, b_grad = self.weight.slab_grad, self.bias.slab_grad
+            for i in range(k):
+                w_grad[i] += (gv[i] * self._x_hat[i]).sum(axis=(0, 2, 3))
+                b_grad[i] += gv[i].sum(axis=(0, 2, 3))
+        g_xhat = gv * self.weight.slab[:, None, :, None, None]
+        inv_std = self._inv_std[:, None, :, None, None]
+        if not self._batch_stats:
+            # Eval mode: statistics are constants.
+            self._x_hat = None
+            return (g_xhat * inv_std).reshape(n, c, h, w)
+        x_hat = self._x_hat
+        self._x_hat = None
+        sum_g = np.empty((k, 1, c, 1, 1), dtype=g_xhat.dtype)
+        sum_gx = np.empty((k, 1, c, 1, 1), dtype=g_xhat.dtype)
+        for i in range(k):
+            sum_g[i, 0, :, 0, 0] = g_xhat[i].sum(axis=(0, 2, 3))
+            sum_gx[i, 0, :, 0, 0] = (g_xhat[i] * x_hat[i]).sum(axis=(0, 2, 3))
+        out = (inv_std / count) * (count * g_xhat - sum_g - x_hat * sum_gx)
+        return out.reshape(n, c, h, w)
 
 
 class DualBatchNorm2d(BatchNorm2d):
@@ -127,6 +220,22 @@ class DualBatchNorm2d(BatchNorm2d):
         else:
             self.set_buffer("running_mean", mean)
             self.set_buffer("running_var", var)
+
+    def _get_running_slab(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.adversarial_mode:
+            return (
+                self._slab_buffers["running_mean_adv"],
+                self._slab_buffers["running_var_adv"],
+            )
+        return super()._get_running_slab()
+
+    def _set_running_slab(self, mean: np.ndarray, var: np.ndarray) -> None:
+        if self.adversarial_mode:
+            dtype = self._buffers["running_mean_adv"].dtype
+            self._slab_buffers["running_mean_adv"] = np.asarray(mean, dtype=dtype)
+            self._slab_buffers["running_var_adv"] = np.asarray(var, dtype=dtype)
+        else:
+            super()._set_running_slab(mean, var)
 
 
 def set_dual_bn_mode(model: Module, adversarial: bool) -> None:

@@ -37,7 +37,14 @@ class SGD:
         self.lr = lr
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity = [np.zeros_like(p.data) for p in self.params]
+        # Slab-aware: under the batched backend a parameter carries a
+        # (K, *shape) per-client slab; the velocity matches it and every
+        # update below is elementwise, so each client's slice evolves
+        # bit-identically to a serial optimizer on that client alone.
+        self._velocity = [
+            np.zeros_like(p.slab if p.slab is not None else p.data)
+            for p in self.params
+        ]
 
     def zero_grad(self) -> None:
         for p in self.params:
@@ -45,14 +52,17 @@ class SGD:
 
     def step(self) -> None:
         for p, v in zip(self.params, self._velocity):
-            g = p.grad
+            if p.slab is not None:
+                data, g = p.slab, p.slab_grad
+            else:
+                data, g = p.data, p.grad
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                g = g + self.weight_decay * data
             if self.momentum:
                 v *= self.momentum
                 v += g
                 g = v
-            p.data -= self.lr * g
+            data -= self.lr * g
 
     def state_size(self) -> int:
         """Number of scalars of optimizer state (for memory accounting)."""
