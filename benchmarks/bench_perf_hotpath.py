@@ -56,6 +56,13 @@ same synchronous run under ``aggregation_rule`` = ``fedavg`` vs
 ``median`` vs ``trimmed_mean``; the robust rules' wall-clock overhead
 is gated at ≤10 % of the FedAvg run.
 
+A tenth section benchmarks the **population engine** (PR 9): the same
+lazy virtual-scheme jFAT run at populations of 100, 10k, and 1M
+clients (cohort 10).  The materialised-client count must stay within
+the LRU capacity and the lazy run must be **bit-identical** to the
+eager one (hard failures); the 1M-client setup is gated at ≤ 2× the
+100-client setup — construction independent of population size.
+
 ``BENCH_PERF.json`` (repo root) keeps a **history**: one entry per run,
 keyed by git SHA + date + runner core count, so the perf trajectory
 across PRs stays visible; a metric dropping more than 20 % against the
@@ -832,6 +839,104 @@ def bench_thread_scaling(params: dict) -> Dict[str, dict]:
     return out
 
 
+def bench_population_scale(params: dict) -> Dict[str, dict]:
+    """The population engine (PR 9): O(cohort) setup at any population.
+
+    The same lazy virtual-scheme jFAT experiment at populations 100,
+    10k, and 1M clients (cohort 10, fixed ``samples_per_client`` so the
+    per-round work is identical).  Setup (experiment construction —
+    which used to partition the whole dataset and build every client)
+    and one full federated round are timed per population.
+
+    Hard checks: the number of clients ever materialised must stay
+    within the LRU capacity at every population (``SystemExit``
+    otherwise — that *is* the O(cohort) memory claim), and at the small
+    population a full lazy run must be bit-identical to the eager run.
+    The soft gate requires 1M-client setup ≤ 2× the 100-client setup
+    (plus 50 ms slack for timer noise): setup independent of population.
+    """
+    from repro.baselines import JointFAT
+    from repro.flsim import FLConfig
+    from repro.models.cnn import build_cnn
+
+    populations = (100, 10_000, 1_000_000)
+    cohort = 10
+
+    task = make_cifar10_like(
+        image_size=8, train_per_class=params["train_per_class"],
+        test_per_class=10, seed=0,
+    )
+
+    def build(population: int, materialisation: str = "lazy") -> JointFAT:
+        cfg = FLConfig(
+            num_clients=population, clients_per_round=cohort,
+            local_iters=params["local_iters"], batch_size=8, lr=0.05,
+            rounds=2, train_pgd_steps=2, eval_pgd_steps=2, eval_every=0,
+            seed=0, population_scheme="virtual",
+            client_materialisation=materialisation, samples_per_client=32,
+        )
+        return JointFAT(
+            task,
+            lambda rng: build_cnn(3, num_classes=10, in_shape=(3, 8, 8),
+                                  base_channels=8, rng=rng),
+            cfg,
+        )
+
+    out: Dict[str, dict] = {
+        "cpus": os.cpu_count() or 1,
+        "populations": list(populations),
+        "cohort": cohort,
+    }
+    for population in populations:
+        best_setup = best_round = float("inf")
+        stats = capacity = None
+        for _ in range(max(params["reps"], 3)):
+            t0 = time.perf_counter()
+            exp = build(population)
+            setup = time.perf_counter() - t0
+            clients, states = exp.sample_round(0)
+            t0 = time.perf_counter()
+            exp.run_round(0, clients, states)
+            best_round = min(best_round, time.perf_counter() - t0)
+            best_setup = min(best_setup, setup)
+            stats = exp.clients.stats()
+            capacity = exp.clients.cache_capacity
+            exp.close()
+        if capacity is not None and stats["peak_live"] > capacity:
+            raise SystemExit(
+                f"FAIL: population_scale {population}-client run "
+                f"materialised {stats['peak_live']} clients, over the LRU "
+                f"capacity {capacity}"
+            )
+        out[f"p{population}"] = {
+            "setup_seconds": best_setup,
+            "round_seconds": best_round,
+            "rounds_per_sec": 1.0 / best_round,
+            "materialised_peak": stats["peak_live"],
+            "cache_capacity": capacity,
+        }
+
+    # Hard bit-identity: lazy and eager materialisation are the same run.
+    finals = {}
+    for materialisation in ("eager", "lazy"):
+        exp = build(populations[0], materialisation)
+        exp.run()
+        finals[materialisation] = exp.global_model.state_dict()
+        exp.close()
+    for key, value in finals["eager"].items():
+        if not np.array_equal(value, finals["lazy"][key]):
+            raise SystemExit(
+                f"FAIL: population_scale lazy run diverged from eager "
+                f"at {key!r}"
+            )
+    out["identical_lazy_eager"] = True
+    out["setup_ratio_1m_vs_100"] = (
+        out[f"p{populations[-1]}"]["setup_seconds"]
+        / max(out[f"p{populations[0]}"]["setup_seconds"], 1e-9)
+    )
+    return out
+
+
 def run_mode(mode: str, params: dict) -> Dict[str, dict]:
     spec = MODES[mode]
     previous = set_fast_path(spec["fast_path"])
@@ -905,6 +1010,10 @@ def _flat_metrics(entry: dict) -> Dict[str, float]:
         rec = entry["thread_scaling"].get(f"w{w}")
         if rec is not None:
             out[f"thread_scaling.w{w}"] = rec["samples_per_sec"]
+    for n in entry.get("population_scale", {}).get("populations", []):
+        rec = entry["population_scale"].get(f"p{n}")
+        if rec is not None:
+            out[f"population_scale.p{n}"] = rec["rounds_per_sec"]
     return out
 
 
@@ -1200,6 +1309,36 @@ def main() -> dict:
         )
     )
 
+    # Population engine: O(cohort) lazy materialisation at any population.
+    previous_fast = set_fast_path(True)
+    try:
+        report["population_scale"] = bench_population_scale(params)
+    finally:
+        set_fast_path(previous_fast)
+    ps = report["population_scale"]
+    print(
+        format_table(
+            ["population", "setup (s)", "round (s)", "materialised", "cache cap"],
+            [
+                (
+                    f"{n:,}",
+                    f"{ps[f'p{n}']['setup_seconds']:.4f}",
+                    f"{ps[f'p{n}']['round_seconds']:.3f}",
+                    str(ps[f"p{n}"]["materialised_peak"]),
+                    str(ps[f"p{n}"]["cache_capacity"]),
+                )
+                for n in ps["populations"]
+            ],
+            title=(
+                f"Population engine (lazy virtual, cohort {ps['cohort']}) — "
+                f"lazy/eager bit-identical: {ps['identical_lazy_eager']}"
+            ),
+        )
+    )
+    print(
+        f"1M-vs-100-client setup ratio: {ps['setup_ratio_1m_vs_100']:.2f}x"
+    )
+
     out_path = Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
     history = _load_history(out_path)
     for warning in _check_regressions(history, report):
@@ -1261,6 +1400,16 @@ def main() -> dict:
             "NOTE: <4-core runner; the >=2.0x client-batched gate was "
             "skipped (cohorts need idle cores to stripe over; thread "
             "timings on shared small runners are noise)"
+        )
+    big, small = ps["populations"][-1], ps["populations"][0]
+    if (
+        ps[f"p{big}"]["setup_seconds"]
+        > 2.0 * ps[f"p{small}"]["setup_seconds"] + 0.05
+    ):
+        failures.append(
+            f"population_scale {big:,}-client setup "
+            f"{ps[f'p{big}']['setup_seconds']:.4f}s > 2x the {small}-client "
+            f"setup {ps[f'p{small}']['setup_seconds']:.4f}s (+50ms slack)"
         )
     if ft["overhead_frac"] > 0.05:
         failures.append(

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Population-engine smoke: O(cohort) scale and lazy/eager determinism.
+
+The CI ``population-smoke`` job runs this script.  It checks the two
+load-bearing claims of the population engine (``docs/architecture.md``):
+
+1. a **1,000,000-client** lazy virtual-scheme run (cohort 10) completes
+   in seconds — setup must not grow with the population, and the number
+   of clients ever materialised must stay within the LRU capacity;
+2. **lazy ≡ eager**: on a small population, a lazily materialised run is
+   bit-identical to the eager one, sync and pipelined-async
+   (``pipeline_depth=2``), and the bounded cache reproduces the
+   unbounded one exactly.
+"""
+
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.baselines import JointFAT  # noqa: E402
+from repro.data import make_cifar10_like  # noqa: E402
+from repro.flsim import FLConfig  # noqa: E402
+from repro.models import build_cnn  # noqa: E402
+
+TASK = make_cifar10_like(image_size=8, train_per_class=40, test_per_class=10, seed=0)
+
+
+def _builder(rng):
+    return build_cnn(3, 10, (3, 8, 8), base_channels=4, rng=rng)
+
+
+def _run(materialisation, cache_size=None, mode="sync", num_clients=8,
+         scheme="auto", rounds=3):
+    cfg = FLConfig(
+        num_clients=num_clients, clients_per_round=4, local_iters=3,
+        batch_size=8, lr=0.02, rounds=rounds, train_pgd_steps=2,
+        eval_pgd_steps=2, eval_every=0, seed=0,
+        aggregation_mode=mode,
+        pipeline_depth=2 if mode == "async" else 1,
+        population_scheme=scheme,
+        client_materialisation=materialisation,
+        client_cache_size=cache_size,
+    )
+    exp = JointFAT(TASK, _builder, cfg)
+    exp.run()
+    return exp.global_model.state_dict()
+
+
+def _identical(a, b):
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+def main() -> int:
+    failures = []
+
+    # 1. Population scale: a million-client run must be O(cohort).
+    cfg = FLConfig(
+        num_clients=1_000_000, clients_per_round=10, local_iters=2,
+        batch_size=8, lr=0.02, rounds=2, train_pgd_steps=2,
+        eval_pgd_steps=2, eval_every=0, seed=0,
+        population_scheme="virtual", client_materialisation="lazy",
+        samples_per_client=32,
+    )
+    t0 = time.perf_counter()
+    exp = JointFAT(TASK, _builder, cfg)
+    setup_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    exp.run()
+    run_s = time.perf_counter() - t0
+    stats = exp.clients.stats()
+    capacity = exp.clients.cache_capacity
+    print(
+        f"[population-smoke] 1M clients: setup {setup_s:.3f}s, "
+        f"run {run_s:.3f}s, materialised peak {stats['peak_live']} "
+        f"(cache cap {capacity}), total_samples {exp.total_samples:,}"
+    )
+    if setup_s > 5.0:
+        failures.append(f"1M-client setup took {setup_s:.1f}s (> 5s)")
+    if capacity is not None and stats["peak_live"] > capacity:
+        failures.append(
+            f"1M-client run materialised {stats['peak_live']} clients, "
+            f"over the cache capacity {capacity}"
+        )
+
+    # 2. Determinism: lazy == eager, bounded cache == unbounded.
+    for mode in ("sync", "async"):
+        eager = _run("eager", mode=mode)
+        lazy = _run("lazy", mode=mode)
+        ok = _identical(eager, lazy)
+        print(f"[population-smoke] {mode}: eager == lazy: {ok}")
+        if not ok:
+            failures.append(f"{mode}: lazy run diverges from eager")
+
+    tiny = _run("lazy", cache_size=4)
+    unbounded = _run("lazy", cache_size=10**9)
+    ok = _identical(tiny, unbounded)
+    print(f"[population-smoke] cache_size=4 == unbounded: {ok}")
+    if not ok:
+        failures.append("bounded cache diverges from unbounded")
+
+    virtual_eager = _run("eager", scheme="virtual", num_clients=32)
+    virtual_lazy = _run("lazy", scheme="virtual", num_clients=32)
+    ok = _identical(virtual_eager, virtual_lazy)
+    print(f"[population-smoke] virtual scheme: eager == lazy: {ok}")
+    if not ok:
+        failures.append("virtual scheme: lazy diverges from eager")
+
+    if failures:
+        print("[population-smoke] FAILED:\n  " + "\n  ".join(failures))
+        return 1
+    print("[population-smoke] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

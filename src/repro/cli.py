@@ -136,6 +136,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         threat_plan=threat_plan, aggregation_rule=args.aggregation_rule,
         trim_ratio=args.trim_ratio, krum_byzantine_f=args.krum_byzantine_f,
         clip_norm=args.clip_norm,
+        population_scheme=args.population_scheme,
+        client_materialisation=args.client_materialisation,
+        client_cache_size=args.client_cache_size,
+        samples_per_client=args.samples_per_client,
+        availability_fraction=args.availability_fraction,
+        availability_period=args.availability_period,
     )
     if args.method == "fedprophet":
         exp = FedProphet(
@@ -292,6 +298,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-clients-per-round", type=int, default=1,
                    help="abort a round (deterministically) when the fault "
                         "plan leaves fewer survivors")
+    p.add_argument("--population-scheme", default="auto",
+                   choices=["auto", "partition", "virtual"],
+                   help="client shard derivation: partition = legacy global "
+                        "pass (bit-identical to historical runs), virtual = "
+                        "per-client counter-derived shards with no global "
+                        "pass (any population size), auto = partition while "
+                        "the population fits the dataset")
+    p.add_argument("--client-materialisation", default="eager",
+                   choices=["eager", "lazy"],
+                   help="eager: build every client at init (legacy); lazy: "
+                        "materialise on first touch into a bounded LRU — "
+                        "bit-identical results either way")
+    p.add_argument("--client-cache-size", type=int, default=None,
+                   help="LRU capacity for --client-materialisation lazy "
+                        "(default: O(cohort); eviction cannot affect "
+                        "results)")
+    p.add_argument("--samples-per-client", type=int, default=None,
+                   help="virtual-scheme shard size (default: derived from "
+                        "the dataset and population size)")
+    p.add_argument("--availability-fraction", type=float, default=None,
+                   help="fraction of rounds each client is available "
+                        "(deterministic per-client duty cycle; default: "
+                        "always available)")
+    p.add_argument("--availability-period", type=int, default=8,
+                   help="length in rounds of the availability duty cycle "
+                        "for --availability-fraction")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_train)
     return parser

@@ -11,6 +11,7 @@ the classes (Shah et al., 2021).
 from repro.data.dataset import ArrayDataset, DataLoader
 from repro.data.synthetic import SyntheticImageTask, make_cifar10_like, make_caltech256_like
 from repro.data.partition import (
+    VirtualPartition,
     iid_partition,
     pathological_partition,
     dirichlet_partition,
@@ -23,6 +24,7 @@ __all__ = [
     "SyntheticImageTask",
     "make_cifar10_like",
     "make_caltech256_like",
+    "VirtualPartition",
     "iid_partition",
     "pathological_partition",
     "dirichlet_partition",

@@ -76,6 +76,79 @@ def pathological_partition(
     return shards
 
 
+class VirtualPartition:
+    """Per-client pathological shards derived independently per cid.
+
+    The population-scale counterpart of :func:`pathological_partition`:
+    the same 80/20 major/minor class skew, but each client's shard is a
+    pure function of the RNG it is handed (the caller derives it from
+    ``(population_seed, cid)``) — no shared class pools, no global pass,
+    so deriving client *i* costs O(samples_per_client) regardless of the
+    population size.  Samples are drawn **with replacement** from the
+    per-class index pools (shared pools consumed without replacement are
+    inherently order-dependent, which is exactly what a per-cid derivation
+    must not be), so shards overlap for populations larger than the
+    dataset — the regime this class exists for.
+
+    Construction is one O(dataset) preprocessing pass (a stable
+    class-sort of the labels); :meth:`shard_for` is then pure vectorised
+    gathering.
+    """
+
+    def __init__(
+        self,
+        labels: np.ndarray,
+        samples_per_client: int,
+        major_data_frac: float = 0.8,
+        major_class_frac: float = 0.2,
+    ):
+        labels = np.asarray(labels)
+        if samples_per_client < 1:
+            raise ValueError("samples_per_client must be >= 1")
+        if not (0.0 < major_data_frac <= 1.0 and 0.0 < major_class_frac <= 1.0):
+            raise ValueError("fractions must be in (0, 1]")
+        self.samples_per_client = int(samples_per_client)
+        self.num_classes = int(labels.max()) + 1
+        self.num_major = max(1, int(round(major_class_frac * self.num_classes)))
+        self.n_major = min(
+            self.samples_per_client,
+            int(round(major_data_frac * self.samples_per_client)),
+        )
+        # Stable class-sorted view of the dataset: class c's samples sit at
+        # class_order[class_offsets[c] : class_offsets[c] + class_counts[c]].
+        self.class_order = np.argsort(labels, kind="stable").astype(np.int64)
+        self.class_counts = np.bincount(labels, minlength=self.num_classes)
+        self.class_offsets = np.concatenate(
+            ([0], np.cumsum(self.class_counts)[:-1])
+        ).astype(np.int64)
+        self._nonempty = np.flatnonzero(self.class_counts > 0)
+        if len(self._nonempty) == 0:
+            raise ValueError("labels must contain at least one sample")
+
+    def shard_for(self, rng: np.random.Generator) -> np.ndarray:
+        """One client's sorted shard indices, O(samples_per_client)."""
+        major = rng.choice(self.num_classes, size=self.num_major, replace=False)
+        is_major = np.zeros(self.num_classes, dtype=bool)
+        is_major[major] = True
+        major_ok = self._nonempty[is_major[self._nonempty]]
+        minor_ok = self._nonempty[~is_major[self._nonempty]]
+        n = self.samples_per_client
+        if len(minor_ok) == 0:
+            n_major = n
+        elif len(major_ok) == 0:
+            n_major = 0
+        else:
+            n_major = self.n_major
+        parts = []
+        if n_major:
+            parts.append(major_ok[rng.integers(0, len(major_ok), size=n_major)])
+        if n - n_major:
+            parts.append(minor_ok[rng.integers(0, len(minor_ok), size=n - n_major)])
+        cls = np.concatenate(parts)
+        pos = rng.integers(0, self.class_counts[cls])
+        return np.sort(self.class_order[self.class_offsets[cls] + pos])
+
+
 def dirichlet_partition(
     labels: np.ndarray,
     num_clients: int,

@@ -11,9 +11,18 @@ from repro.flsim.base import (
     AsyncMergeEvent,
     AsyncRoundContext,
     FLConfig,
-    FLClient,
     RoundRecord,
     FederatedExperiment,
+)
+from repro.flsim.population import (
+    AVAIL_STREAM,
+    MATERIALISATIONS,
+    POPULATION_SCHEMES,
+    SHARD_STREAM,
+    SMALL_POPULATION_COMPAT,
+    ClientPopulation,
+    FLClient,
+    sample_cohort_ids,
 )
 from repro.flsim.aggregation import (
     AggregationError,
@@ -82,6 +91,13 @@ __all__ = [
     "PendingEval",
     "FLConfig",
     "FLClient",
+    "ClientPopulation",
+    "sample_cohort_ids",
+    "POPULATION_SCHEMES",
+    "MATERIALISATIONS",
+    "SMALL_POPULATION_COMPAT",
+    "SHARD_STREAM",
+    "AVAIL_STREAM",
     "RoundRecord",
     "FederatedExperiment",
     "fedavg",

@@ -20,13 +20,18 @@ import numpy as np
 
 from repro.attacks import ModelWithLoss
 from repro.data.dataset import ArrayDataset
-from repro.data.partition import pathological_partition
 from repro.data.synthetic import SyntheticImageTask
 from repro.flsim.eval_executor import EvalExecutor, EvalTarget, PendingEval
 from repro.flsim.executor import BACKENDS, CohortFn, RoundExecutor
 from repro.flsim.aggregation import AggregationError
 from repro.flsim.faults import FaultPlan, RoundFaults
 from repro.flsim.journal import JournalError, RunJournal
+from repro.flsim.population import (
+    MATERIALISATIONS,
+    POPULATION_SCHEMES,
+    ClientPopulation,
+    FLClient,
+)
 from repro.flsim.robust_agg import AGGREGATION_RULES, RobustAggregator, masked_robust_average
 from repro.flsim.scheduler import FLScheduler
 from repro.flsim.threats import RoundThreats, ThreatPlan
@@ -113,6 +118,24 @@ class FLConfig:
     ``min_clients_per_round`` aborts deterministically (no training, an
     ``aborted`` history record).
 
+    **Population engine** (see ``docs/architecture.md``):
+    ``population_scheme`` picks how client shards are derived —
+    ``"partition"`` is the legacy global partition pass (bit-identical to
+    every pre-engine run), ``"virtual"`` derives each client's shard,
+    sample count, and device profile from counter-derived
+    ``(population seed, cid)`` streams with no global pass (O(cohort)
+    memory and setup at any population size), and ``"auto"`` (default)
+    picks ``partition`` while ``num_clients <= len(train)`` and
+    ``virtual`` beyond it.  ``client_materialisation`` is an independent
+    axis: ``"eager"`` (default) builds every :class:`FLClient` at init,
+    ``"lazy"`` materialises on first touch into a bounded LRU of
+    ``client_cache_size`` (None = O(cohort) default) — eviction cannot
+    affect results, so lazy runs are bit-identical to eager ones.
+    ``samples_per_client`` fixes the virtual shard size (None = derived
+    from the dataset); ``availability_fraction`` / ``availability_period``
+    give every client a deterministic periodic duty cycle that cohort
+    sampling respects (see ``docs/fault-tolerance.md``).
+
     ``threat_plan`` injects seeded Byzantine clients (label-flip /
     backdoor data poisoning, sign-flip / Gaussian / model-replacement
     update poisoning — see :class:`repro.flsim.threats.ThreatPlan`);
@@ -161,6 +184,12 @@ class FLConfig:
     trim_ratio: float = 0.2
     krum_byzantine_f: int = 1
     clip_norm: Optional[float] = None
+    population_scheme: str = "auto"
+    client_materialisation: str = "eager"
+    client_cache_size: Optional[int] = None
+    samples_per_client: Optional[int] = None
+    availability_fraction: Optional[float] = None
+    availability_period: int = 8
 
     def __post_init__(self):
         if self.clients_per_round > self.num_clients:
@@ -244,18 +273,26 @@ class FLConfig:
             raise ValueError("krum_byzantine_f must be >= 0")
         if self.clip_norm is not None and self.clip_norm <= 0:
             raise ValueError("clip_norm must be > 0 (or None for adaptive)")
-
-
-@dataclass
-class FLClient:
-    """One client: an id and its local shard."""
-
-    cid: int
-    dataset: ArrayDataset
-
-    @property
-    def num_samples(self) -> int:
-        return len(self.dataset)
+        if self.population_scheme not in POPULATION_SCHEMES:
+            raise ValueError(
+                f"population_scheme must be one of {POPULATION_SCHEMES}, "
+                f"got {self.population_scheme!r}"
+            )
+        if self.client_materialisation not in MATERIALISATIONS:
+            raise ValueError(
+                f"client_materialisation must be one of {MATERIALISATIONS}, "
+                f"got {self.client_materialisation!r}"
+            )
+        if self.client_cache_size is not None and self.client_cache_size < 1:
+            raise ValueError("client_cache_size must be >= 1 (or None)")
+        if self.samples_per_client is not None and self.samples_per_client < 1:
+            raise ValueError("samples_per_client must be >= 1 (or None)")
+        if self.availability_fraction is not None and not (
+            0.0 < self.availability_fraction <= 1.0
+        ):
+            raise ValueError("availability_fraction must be in (0, 1] (or None)")
+        if self.availability_period < 1:
+            raise ValueError("availability_period must be >= 1")
 
 
 @dataclass
@@ -359,13 +396,22 @@ class FederatedExperiment(ABC):
         self.device_sampler = device_sampler
         self.latency_model = latency_model if latency_model is not None else LatencyModel()
 
-        shards = pathological_partition(
-            task.train.y, config.num_clients, rng=np.random.default_rng(config.seed + 13)
+        # seed + 13 is the historical partition stream: the "partition"
+        # scheme reproduces the pre-engine eager shards bit for bit.
+        self.clients = ClientPopulation(
+            task.train,
+            num_clients=config.num_clients,
+            seed=config.seed + 13,
+            scheme=config.population_scheme,
+            materialisation=config.client_materialisation,
+            cache_size=config.client_cache_size,
+            samples_per_client=config.samples_per_client,
+            availability_fraction=config.availability_fraction,
+            availability_period=config.availability_period,
+            cohort_size=config.clients_per_round,
+            pipeline_depth=config.pipeline_depth,
         )
-        self.clients = [
-            FLClient(cid=i, dataset=task.train.subset(idx)) for i, idx in enumerate(shards)
-        ]
-        self.total_samples = sum(c.num_samples for c in self.clients)
+        self.total_samples = self.clients.total_samples
 
         self.clock_s = 0.0
         self.total_compute_s = 0.0
@@ -516,6 +562,12 @@ class FederatedExperiment(ABC):
     ) -> Tuple[List[FLClient], List[Optional[DeviceState]]]:
         """Uniformly sample C participating clients and their device states.
 
+        Sampling is O(cohort) at any population size (see
+        :meth:`ClientPopulation.sample_ids`; small populations keep the
+        historical ``rng.choice`` draw bit for bit), restricted to the
+        round's available clients when ``availability_fraction`` is set.
+        Selected clients materialise through the population's LRU.
+
         With an active ``fault_plan``, the sampled cohort is then filtered
         to the fault survivors (the fault RNG is a separate seeded stream,
         so the experiment's own sampling draws are untouched — a disabled
@@ -525,12 +577,18 @@ class FederatedExperiment(ABC):
         training.
         """
         cfg = self.config
-        ids = self.rng.choice(
-            cfg.num_clients, size=cfg.clients_per_round, replace=False
-        )
-        selected = [self.clients[i] for i in ids]
+        ids = self.clients.sample_ids(self.rng, cfg.clients_per_round, round_idx)
+        selected = [self.clients.client(int(i)) for i in ids]
         if self.device_sampler is None:
             states: List[Optional[DeviceState]] = [None] * len(selected)
+        elif self.clients.scheme == "virtual":
+            # Virtual clients own a persistent counter-derived device
+            # identity; the partition scheme keeps the sequential
+            # per-round draws for bit-compat with historical seeds.
+            states = [
+                self.device_sampler.state_for(self.clients.seed, round_idx, c.cid)
+                for c in selected
+            ]
         else:
             states = list(self.device_sampler.sample_many(len(selected), self.rng))
         self._round_faults = None
@@ -591,7 +649,13 @@ class FederatedExperiment(ABC):
                         else c
                         for i, c in enumerate(selected)
                     ]
-        self._jlog("sample", round=round_idx, cids=[c.cid for c in selected])
+        self._jlog(
+            "sample",
+            round=round_idx,
+            cids=[c.cid for c in selected],
+            population=self.clients.num_clients,
+            cache=self.clients.stats(),
+        )
         return selected, states
 
     def fault_client_costs(
@@ -1298,8 +1362,19 @@ class FederatedExperiment(ABC):
                 f" (fusion width {ex.fusion_width}; homogeneous clients "
                 f"fuse into stacked cohorts, others fall back per item)"
             )
+        pop = self.clients
+        cap = pop.cache_capacity
+        stats = pop.stats()
+        population = (
+            f"population: {pop.num_clients} clients ({pop.scheme}, "
+            f"{pop.materialisation}, cache cap "
+            f"{'unbounded' if cap is None else cap}, live {stats['live']}, "
+            f"peak {stats['peak_live']}, hits {stats['hits']}, "
+            f"evictions {stats['evictions']})"
+        )
         parts = [
             engine,
+            population,
             f"eval engine: {ev.backend} x{ev.max_workers}",
             f"aggregation: {cfg.aggregation_mode}"
             + (
@@ -1353,12 +1428,18 @@ class FederatedExperiment(ABC):
         if self.config.journal_path is None or self._journal is not None:
             return
         self._journal = RunJournal.create(self.config.journal_path)
+        pop = self.clients
         self._jlog(
             "run_start",
             fingerprint=self._fingerprint(),
             experiment=self.name,
             rounds=self.config.rounds,
             mode=self.config.aggregation_mode,
+            population=pop.num_clients,
+            cohort=self.config.clients_per_round,
+            scheme=pop.scheme,
+            materialisation=pop.materialisation,
+            cache_capacity=pop.cache_capacity,
         )
 
     def _abort_cleanup(self) -> None:

@@ -38,9 +38,13 @@ class CheckpointError(RuntimeError):
 CHECKPOINT_FORMAT = 1
 
 #: Config fields that cannot affect results (the bit-identity contract):
-#: execution backends/worker counts, eval overlap, and the journal /
-#: checkpoint plumbing itself.  Everything else is semantic and
-#: fingerprinted.
+#: execution backends/worker counts, eval overlap, the journal /
+#: checkpoint plumbing itself, and the client-population materialisation
+#: knobs (lazy vs eager and the LRU capacity are pure caching — every
+#: client is a deterministic function of the population seed).
+#: Everything else is semantic and fingerprinted; note
+#: ``population_scheme`` *is* semantic (partition and virtual shards
+#: differ), so a resume may change cache size but not scheme.
 NONSEMANTIC_FIELDS = frozenset(
     {
         "journal_path",
@@ -50,6 +54,8 @@ NONSEMANTIC_FIELDS = frozenset(
         "eval_backend",
         "eval_parallelism",
         "overlap_eval",
+        "client_materialisation",
+        "client_cache_size",
     }
 )
 

@@ -15,6 +15,16 @@ All fault latency is *simulated* time (the retry backoff, the straggler
 slowdown, the server-side ``client_timeout`` wait) — never wall clock —
 which keeps the engine-wide determinism contract intact.
 
+Faults compose with the population engine's *availability windows*
+(:meth:`repro.flsim.population.ClientPopulation.available`) by layering:
+availability restricts which clients can be **sampled** at all (a
+deterministic per-client duty cycle, drawn from its own
+``[AVAIL_STREAM, population seed, cid]`` stream), while the fault plan
+then drops, slows, or retries clients that *were* sampled — modelling
+the difference between a phone that is offline tonight and one that
+crashes mid-round.  The streams are disjoint, so either layer can be
+switched off without perturbing the other.
+
 The per-round product is a :class:`RoundFaults`: which sampled clients
 survive, how the survivors' latency costs are scaled, and whether the
 round aborts because the surviving cohort fell below

@@ -14,8 +14,12 @@ deterministic program order):
 ========== ==============================================================
 kind        payload
 ========== ==============================================================
-run_start   ``fingerprint``, ``experiment``, ``rounds``, ``mode``
-sample      ``round``, ``cids`` (the cohort that will train)
+run_start   ``fingerprint``, ``experiment``, ``rounds``, ``mode``, plus
+            the population shape: ``population``, ``cohort``, ``scheme``,
+            ``materialisation``, ``cache_capacity``
+sample      ``round``, ``cids`` (the cohort that will train),
+            ``population``, ``cache`` (hit/miss/eviction/live counters of
+            the client LRU at sampling time)
 faults      ``round``, ``sampled``, ``dropped``, ``retries``, ``aborted``
 threats     ``round``, ``attack``, ``byzantine`` (cids marked this round)
 dispatch    async: ``round``, ``base_version``, ``dispatch_time``, ``cids``

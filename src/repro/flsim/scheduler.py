@@ -478,6 +478,14 @@ class CrossRoundPipeline:
     exactly.  Wall-clock overlap needs the thread backend (serial and
     process launch groups eagerly at dispatch and degrade gracefully to
     the same — bit-identical — results).
+
+    Population-engine composition: tickets hold strong references to the
+    dispatched :class:`~repro.flsim.population.FLClient` objects (via
+    their items and ``meta``), so a lazily materialised client stays
+    alive for every in-flight round that uses it even after the
+    population LRU evicts it — eviction only drops the *cache entry*,
+    and a later re-touch rematerialises the identical client from its
+    ``(seed, cid)`` streams.
     """
 
     def __init__(

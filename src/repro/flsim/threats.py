@@ -188,7 +188,12 @@ class ThreatPlan:
         ``label_flip`` shares the input tensor (only labels change);
         ``backdoor`` copies it to stamp the trigger.  Which samples carry
         the backdoor is a dedicated-stream draw, so the poisoned shard is
-        identical on every backend.
+        identical on every backend.  The copy lives in a fresh
+        per-round ``FLClient`` wrapper outside the population's LRU
+        (the honest client object is never mutated), so a lazily
+        materialised client that is evicted and re-touched later still
+        rematerialises its *clean* shard — poisoning is per-``(round,
+        cid)``, never sticky.
         """
         if self.attack == "label_flip":
             y = (np.asarray(dataset.y) + self.flip_offset) % num_classes

@@ -21,6 +21,11 @@ import numpy as np
 GB = 1024**3
 TFLOPS = 1e12
 
+#: Stream tag for counter-derived per-client device RNGs (see
+#: :meth:`DeviceSampler.profile_for` / :meth:`DeviceSampler.state_for`),
+#: disjoint from the population/fault/threat stream families.
+DEVICE_STREAM = 0xD37C
+
 
 @dataclass(frozen=True)
 class Device:
@@ -148,3 +153,35 @@ class DeviceSampler:
 
     def sample_many(self, count: int, rng: np.random.Generator) -> List[DeviceState]:
         return [self.sample(rng) for _ in range(count)]
+
+    # -- counter-derived per-client streams (population engine) ---------------
+    def profile_for(self, seed: int, cid: int) -> Device:
+        """Client ``cid``'s persistent device identity.
+
+        A pure function of ``(seed, cid)`` — the virtual population
+        derives it on first touch, so a client owns the *same* device
+        across rounds, evictions, and resumes without any stored state
+        (the sequential :meth:`sample` draws a fresh device per round,
+        which the legacy partition scheme keeps for bit-compat).
+        """
+        rng = np.random.default_rng([DEVICE_STREAM, seed, cid])
+        return self.pool[int(rng.choice(len(self.pool), p=self.probs))]
+
+    def state_for(self, seed: int, round_idx: int, cid: int) -> DeviceState:
+        """Client ``cid``'s degraded resources at ``round_idx``.
+
+        The persistent :meth:`profile_for` device with per-round runtime
+        degrading factors from ``(seed, round, cid)`` — same factor
+        ranges and positivity floors as :meth:`sample`.  The 4-element
+        seed sequence cannot collide with ``profile_for``'s 3-element
+        one.
+        """
+        device = self.profile_for(seed, cid)
+        rng = np.random.default_rng([DEVICE_STREAM, seed, round_idx, cid])
+        mem_f = max(rng.uniform(*self.mem_factor_range), 1e-3)
+        perf_f = max(rng.uniform(*self.perf_factor_range), 1e-3)
+        return DeviceState(
+            device=device,
+            avail_mem_bytes=device.mem_bytes * mem_f,
+            avail_perf_flops=device.perf_flops * perf_f,
+        )
