@@ -839,6 +839,100 @@ def bench_thread_scaling(params: dict) -> Dict[str, dict]:
     return out
 
 
+def bench_replay_service(params: dict) -> Dict[str, dict]:
+    """The streaming-metrics service (PR 10) vs a bare journalled run.
+
+    The same short journalled jFAT run twice:
+
+    * ``metrics_off`` — journal only (the PR 6 fault-tolerance engine);
+    * ``metrics_on``  — journal plus the :class:`MetricsService` tee:
+      flushed JSONL metrics rows and a live HTTP status endpoint on an
+      ephemeral port.
+
+    The observed run must produce **bit-identical** final weights (the
+    service only reads event payloads — hard failure otherwise), and its
+    wall-clock overhead is gated at <= 5% of the bare journalled run.
+    The recorded journal is then verified end-to-end with
+    :func:`~repro.flsim.replay.replay_run` (bit-identity is a hard
+    check; the replay timing itself is report-only).
+    """
+    import shutil
+    import tempfile
+
+    from repro.baselines import JointFAT
+    from repro.flsim import FLConfig
+    from repro.flsim.replay import replay_run
+
+    rounds = params["pipeline_rounds"] + 2
+
+    def build(journal_path, metrics=False):
+        task = make_cifar10_like(
+            image_size=8, train_per_class=params["train_per_class"],
+            test_per_class=10, seed=0,
+        )
+        cfg = FLConfig(
+            num_clients=6, clients_per_round=3,
+            local_iters=params["local_iters"], batch_size=32, lr=0.05,
+            rounds=rounds, train_pgd_steps=2, eval_pgd_steps=2, eval_every=0,
+            seed=0, journal_path=journal_path,
+            metrics_path=(
+                journal_path + ".metrics.jsonl" if metrics else None
+            ),
+            status_port=0 if metrics else None,
+        )
+        return JointFAT(
+            task,
+            lambda rng: build_vgg("vgg11", 10, (3, 8, 8), width_mult=0.25, rng=rng),
+            cfg,
+        )
+
+    out: Dict[str, dict] = {"cpus": os.cpu_count() or 1, "rounds": rounds}
+    workdir = tempfile.mkdtemp(prefix="bench-replay-service-")
+    finals = {}
+    best = {"metrics_off": float("inf"), "metrics_on": float("inf")}
+    journal_for_replay = None
+    try:
+        # Interleave the variants (alternating which goes first) so
+        # machine-load drift hits both equally; the gate compares two
+        # near-equal times, so the min needs the extra reps to converge.
+        for rep in range(max(params["reps"], 5)):
+            order = ("metrics_off", "metrics_on")
+            for name in (order if rep % 2 == 0 else order[::-1]):
+                journal = os.path.join(workdir, f"{name}-{rep}.jsonl")
+                exp = build(journal, metrics=name == "metrics_on")
+                t0 = time.perf_counter()
+                exp.run()
+                best[name] = min(best[name], time.perf_counter() - t0)
+                exp.close()
+                finals[name] = exp.global_model.state_dict()
+                if name == "metrics_off":
+                    journal_for_replay = journal
+        for name in ("metrics_off", "metrics_on"):
+            out[name] = {
+                "seconds": best[name], "rounds_per_sec": rounds / best[name],
+            }
+        for key, value in finals["metrics_off"].items():
+            if not np.array_equal(value, finals["metrics_on"][key]):
+                raise SystemExit(
+                    f"FAIL: replay_service observed run diverged from the "
+                    f"bare journalled run at {key!r}"
+                )
+        out["identical_with_metrics"] = True
+        t0 = time.perf_counter()
+        report = replay_run(journal_for_replay, lambda: build(None))
+        out["replay"] = {
+            "seconds": time.perf_counter() - t0,
+            "events_verified": report.events_verified,
+            "rounds": report.rounds,
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    out["overhead_frac"] = (
+        out["metrics_on"]["seconds"] / out["metrics_off"]["seconds"] - 1.0
+    )
+    return out
+
+
 def bench_population_scale(params: dict) -> Dict[str, dict]:
     """The population engine (PR 9): O(cohort) setup at any population.
 
@@ -1339,6 +1433,33 @@ def main() -> dict:
         f"1M-vs-100-client setup ratio: {ps['setup_ratio_1m_vs_100']:.2f}x"
     )
 
+    # Streaming-metrics service + deterministic replay (PR 10).
+    previous_fast = set_fast_path(True)
+    try:
+        report["replay_service"] = bench_replay_service(params)
+    finally:
+        set_fast_path(previous_fast)
+    rs = report["replay_service"]
+    print(
+        format_table(
+            ["mode", "seconds", "rounds/s"],
+            [
+                (name, f"{rs[name]['seconds']:.3f}", f"{rs[name]['rounds_per_sec']:.2f}")
+                for name in ("metrics_off", "metrics_on")
+            ],
+            title=(
+                f"Streaming metrics service ({rs['rounds']} journalled "
+                f"rounds) — weights bit-identical: "
+                f"{rs['identical_with_metrics']}"
+            ),
+        )
+    )
+    print(
+        f"metrics+status overhead: {rs['overhead_frac'] * 100:.1f}%, replay "
+        f"verified {rs['replay']['events_verified']} events in "
+        f"{rs['replay']['seconds']:.3f}s"
+    )
+
     out_path = Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
     history = _load_history(out_path)
     for warning in _check_regressions(history, report):
@@ -1421,6 +1542,14 @@ def main() -> dict:
             failures.append(
                 f"robust_agg {rule} overhead {frac * 100:.1f}% > 10% vs fedavg"
             )
+    # +50ms absolute slack (like the population gate): the two timings
+    # are near-equal seconds-scale numbers, so pure timer noise can fake
+    # a few percent of "overhead" on small/loaded runners.
+    if rs["metrics_on"]["seconds"] > 1.05 * rs["metrics_off"]["seconds"] + 0.05:
+        failures.append(
+            "replay_service metrics+status overhead "
+            f"{rs['overhead_frac'] * 100:.1f}% > 5% (+50ms slack)"
+        )
     for msg in failures:
         if enforce:
             raise SystemExit(f"FAIL: {msg}")

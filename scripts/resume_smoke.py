@@ -1,15 +1,15 @@
 #!/usr/bin/env python
 """Kill-and-resume smoke: SIGKILL a journalled run, resume, expect bit-identity.
 
-The CI ``resume-smoke`` job runs this script.  It:
+The assertions live in ``tests/test_resume_smoke.py`` (the CI
+``resume-smoke`` job runs that pytest module, so failures produce pytest
+diffs); this script keeps two roles:
 
-1. computes an **uninterrupted reference** run in-process (journal off);
-2. spawns a child process running the same config with a journal and
-   per-round checkpoints, waits until the journal shows at least
-   ``KILL_AFTER_CHECKPOINTS`` checkpoints, and ``SIGKILL``s it mid-run;
-3. resumes from the journal in a fresh experiment and asserts the final
-   weights, history, and async merge log are **bit-identical** to the
-   reference.
+* ``--child <journal>``: the subprocess entry point — a journalled run
+  with per-round checkpoints that the orchestrator SIGKILLs mid-flight
+  (both the test and the standalone mode spawn it);
+* standalone (no args): a self-contained smoke run for manual use, the
+  same checks as the test with print/exit-code reporting.
 
 The run uses the async cross-round pipeline (``pipeline_depth=2``) on the
 thread backend, so the kill lands while rounds are genuinely in flight —
@@ -38,7 +38,8 @@ KILL_AFTER_CHECKPOINTS = 2
 KILL_DEADLINE_S = 300.0
 
 
-def _build(journal_path=None, checkpoint_every=0):
+def build_experiment(journal_path=None, checkpoint_every=0):
+    """The smoke config: 8 async rounds, depth 2, thread x2."""
     task = make_cifar10_like(
         image_size=8, train_per_class=40, test_per_class=10, seed=0
     )
@@ -54,14 +55,17 @@ def _build(journal_path=None, checkpoint_every=0):
     return JointFAT(task, builder, cfg)
 
 
-def _child(journal_path: str) -> int:
-    exp = _build(journal_path, checkpoint_every=1)
-    exp.run()
-    exp.close()
-    return 0
+def run_reference():
+    """The uninterrupted run's final weights + merge-log alphas."""
+    ref = build_experiment()
+    ref.run()
+    state = {k: v.copy() for k, v in ref.global_model.state_dict().items()}
+    alphas = [e.alpha for e in ref.async_log]
+    ref.close()
+    return state, alphas
 
 
-def _checkpoints_logged(journal_path: str) -> int:
+def checkpoints_logged(journal_path: str) -> int:
     if not os.path.exists(journal_path):
         return 0
     return sum(
@@ -69,49 +73,59 @@ def _checkpoints_logged(journal_path: str) -> int:
     )
 
 
+def spawn_and_kill(journal_path: str) -> bool:
+    """Run the ``--child`` subprocess; SIGKILL it mid-run.
+
+    Polls the journal until ``KILL_AFTER_CHECKPOINTS`` checkpoints have
+    landed, then kills.  Returns True if the kill landed mid-run; False
+    if the child outran the poll loop and finished (resume still must
+    reproduce the reference from the last checkpoint, so the caller's
+    checks stay meaningful either way).  Raises on deadline expiry with
+    no checkpoint — that means the child never made progress.
+    """
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    child = subprocess.Popen(
+        [sys.executable, os.path.abspath(__file__), "--child", journal_path],
+        env=env,
+    )
+    deadline = time.monotonic() + KILL_DEADLINE_S
+    while time.monotonic() < deadline:
+        if child.poll() is not None:
+            return False
+        if checkpoints_logged(journal_path) >= KILL_AFTER_CHECKPOINTS:
+            child.send_signal(signal.SIGKILL)
+            child.wait()
+            return True
+        time.sleep(0.05)
+    child.kill()
+    child.wait()
+    raise RuntimeError(
+        f"no checkpoint appeared in {journal_path} within {KILL_DEADLINE_S}s"
+    )
+
+
+def _child(journal_path: str) -> int:
+    exp = build_experiment(journal_path, checkpoint_every=1)
+    exp.run()
+    exp.close()
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) == 3 and sys.argv[1] == "--child":
         return _child(sys.argv[2])
 
     print(f"reference: uninterrupted {ROUNDS}-round run (journal off)")
-    ref = _build()
-    ref.run()
-    ref_state = {k: v.copy() for k, v in ref.global_model.state_dict().items()}
-    ref.close()
+    ref_state, ref_alphas = run_reference()
 
     journal = os.path.join(tempfile.mkdtemp(prefix="resume-smoke-"), "run.jsonl")
-    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
-    child = subprocess.Popen(
-        [sys.executable, os.path.abspath(__file__), "--child", journal], env=env
-    )
-    print(f"child pid {child.pid}: journalled run, checkpoint every round")
-
-    deadline = time.monotonic() + KILL_DEADLINE_S
-    killed = False
-    while time.monotonic() < deadline:
-        if child.poll() is not None:
-            break
-        if _checkpoints_logged(journal) >= KILL_AFTER_CHECKPOINTS:
-            child.send_signal(signal.SIGKILL)
-            child.wait()
-            killed = True
-            break
-        time.sleep(0.05)
-    if not killed:
-        if child.poll() is None:
-            child.kill()
-            child.wait()
-            print("error: no checkpoint appeared before the deadline")
-            return 1
-        # The child outran the poll loop: resume still must reproduce the
-        # reference from the last checkpoint, so the check stays meaningful.
-        print("note: child finished before the kill; resuming post-run")
+    print("child: journalled run, checkpoint every round")
+    if spawn_and_kill(journal):
+        print(f"SIGKILLed child after {checkpoints_logged(journal)} checkpoints")
     else:
-        print(
-            f"SIGKILLed child after {_checkpoints_logged(journal)} checkpoints"
-        )
+        print("note: child finished before the kill; resuming post-run")
 
-    resumed = _build(journal, checkpoint_every=1)
+    resumed = build_experiment(journal, checkpoint_every=1)
     resumed.resume(journal)
     final = resumed.global_model.state_dict()
     mismatched = [
@@ -123,7 +137,7 @@ def main() -> int:
     if len(resumed.history) != ROUNDS:
         print(f"FAIL: resumed history has {len(resumed.history)} records")
         return 1
-    if [e.alpha for e in resumed.async_log] != [e.alpha for e in ref.async_log]:
+    if [e.alpha for e in resumed.async_log] != ref_alphas:
         print("FAIL: resumed merge log differs from reference")
         return 1
     events = RunJournal.read(journal)

@@ -12,6 +12,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -116,6 +117,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.resume and not args.journal:
         print("error: --resume requires --journal", file=sys.stderr)
         return 2
+    if args.replay and not args.journal:
+        print("error: --replay requires --journal", file=sys.stderr)
+        return 2
+    if args.replay and args.resume:
+        print("error: --replay and --resume are mutually exclusive", file=sys.stderr)
+        return 2
     fault_plan = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
     threat_plan = ThreatPlan.parse(args.threat_plan) if args.threat_plan else None
     common = dict(
@@ -130,6 +137,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         pipeline_depth=args.pipeline_depth,
         overlap_eval=args.overlap_eval, split_autoattack=args.split_autoattack,
         journal_path=args.journal, checkpoint_every=args.checkpoint_every,
+        metrics_path=args.metrics, status_port=args.status_port,
+        eval_every_merge=args.eval_every_merge,
         fault_plan=fault_plan, client_timeout=args.client_timeout,
         max_client_retries=args.max_client_retries,
         min_clients_per_round=args.min_clients_per_round,
@@ -143,22 +152,51 @@ def _cmd_train(args: argparse.Namespace) -> int:
         availability_fraction=args.availability_fraction,
         availability_period=args.availability_period,
     )
-    if args.method == "fedprophet":
-        exp = FedProphet(
-            task, builder,
-            FedProphetConfig(rounds=args.rounds, rounds_per_module=max(4, args.rounds // 4),
-                             patience=max(3, args.rounds // 8), r_min_fraction=0.35,
-                             val_samples=80, val_pgd_steps=3, **common),
-            device_sampler=sampler,
-        )
-    else:
+    def build(**overrides):
+        fields = dict(common, **overrides)
+        if args.method == "fedprophet":
+            return FedProphet(
+                task, builder,
+                FedProphetConfig(rounds=args.rounds,
+                                 rounds_per_module=max(4, args.rounds // 4),
+                                 patience=max(3, args.rounds // 8),
+                                 r_min_fraction=0.35,
+                                 val_samples=80, val_pgd_steps=3, **fields),
+                device_sampler=sampler,
+            )
         cls = {
             "jfat": JointFAT, "heterofl": HeteroFLAT,
             "feddrop": FedDropAT, "fedrolex": FedRolexAT,
             "fedrbn": FedRBN,
         }[args.method]
-        exp = cls(task, builder, FLConfig(rounds=args.rounds, **common),
-                  device_sampler=sampler)
+        return cls(task, builder, FLConfig(rounds=args.rounds, **fields),
+                   device_sampler=sampler)
+
+    if args.replay:
+        # Re-execute the journalled run in a scratch directory (same
+        # journal basename, so re-emitted checkpoint events match
+        # bit-for-bit) and verify every event against the recorded log.
+        import tempfile
+
+        from repro.flsim.replay import ReplayDivergence, replay_run
+
+        scratch = tempfile.mkdtemp(prefix="repro-replay-")
+        replay_journal = os.path.join(scratch, os.path.basename(args.journal))
+        try:
+            report = replay_run(
+                os.path.abspath(args.journal),
+                lambda: build(journal_path=replay_journal),
+                verbose=args.verbose,
+            )
+        except ReplayDivergence as err:
+            print(f"replay FAILED: {err}", file=sys.stderr)
+            return 1
+        print(report.summary())
+        return 0
+
+    exp = build()
+    if exp.status_address:
+        print(f"status endpoint: {exp.status_address}/status")
     if args.verbose:
         # Resolved worker counts for both engines (the CLI flags are caps;
         # None resolves to the CPU count / the round engine's settings).
@@ -260,9 +298,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="resume an interrupted run from --journal's last "
                         "checkpoint (bit-identical to the uninterrupted run)")
+    p.add_argument("--replay", action="store_true",
+                   help="deterministically re-execute the run recorded in "
+                        "--journal and verify every journal event "
+                        "bit-for-bit (exit 1 + a divergence report naming "
+                        "the first mismatching seq on failure; pass the "
+                        "original --checkpoint-every to verify checkpoint "
+                        "events too, otherwise they are skipped)")
     p.add_argument("--checkpoint-every", type=int, default=0,
                    help="atomically checkpoint run state every K rounds "
                         "(0 = off; requires --journal)")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="stream per-round / per-merge-event / per-eval "
+                        "JSONL metrics rows to PATH live during the run "
+                        "(flushed per event — tail it mid-run)")
+    p.add_argument("--status-port", type=int, default=None,
+                   help="serve a read-only JSON status endpoint on "
+                        "127.0.0.1:PORT (0 = ephemeral; GET /status, "
+                        "/events, /health) for the duration of the run")
+    p.add_argument("--eval-every-merge", type=int, default=0,
+                   help="async mode: evaluate the merged server state "
+                        "every K merge events (accuracy-vs-server-version "
+                        "staleness curves; 0 = off)")
     p.add_argument("--fault-plan", default=None, metavar="SPEC",
                    help="seeded fault injection: inline JSON ('{...}') or a "
                         "path to a JSON file with FaultPlan fields "

@@ -11,6 +11,7 @@ from repro.flsim.base import (
     AsyncMergeEvent,
     AsyncRoundContext,
     FLConfig,
+    MergeEvalRecord,
     RoundRecord,
     FederatedExperiment,
 )
@@ -61,13 +62,22 @@ from repro.flsim.history import (
     RunHistory,
     history_rows,
     export_csv,
+    merge_eval_rows,
     round_record_from_dict,
     round_record_to_dict,
     time_to_accuracy,
     best_round,
 )
 from repro.flsim.faults import FaultOutcome, FaultPlan, RoundFaults
-from repro.flsim.journal import JournalError, RunJournal
+from repro.flsim.journal import KNOWN_KINDS, JournalError, RunJournal
+from repro.flsim.replay import (
+    ReplayDivergence,
+    ReplayJournal,
+    ReplayReport,
+    canonical_events,
+    replay_run,
+)
+from repro.flsim.service import MetricsService, StatusServer
 from repro.flsim.checkpoint import (
     CheckpointError,
     config_fingerprint,
@@ -117,6 +127,16 @@ __all__ = [
     "RoundFaults",
     "RunJournal",
     "JournalError",
+    "KNOWN_KINDS",
+    "MergeEvalRecord",
+    "merge_eval_rows",
+    "ReplayDivergence",
+    "ReplayJournal",
+    "ReplayReport",
+    "canonical_events",
+    "replay_run",
+    "MetricsService",
+    "StatusServer",
     "CheckpointError",
     "config_fingerprint",
     "read_checkpoint",

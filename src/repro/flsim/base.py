@@ -136,6 +136,20 @@ class FLConfig:
     give every client a deterministic periodic duty cycle that cohort
     sampling respects (see ``docs/fault-tolerance.md``).
 
+    **Observability** (see ``docs/fault-tolerance.md``):
+    ``metrics_path`` streams per-round / per-merge-event / per-eval JSONL
+    metrics rows **live** during the run (flushed per event, so they can
+    be tailed mid-run); ``status_port`` serves a read-only JSON status
+    endpoint (current round, server version, simulated clock,
+    fault/threat/cache counters) on a loopback daemon thread — port 0
+    binds an ephemeral port, exposed as ``experiment.status_address``.
+    Both are pure observability and non-semantic (they cannot affect
+    results).  ``eval_every_merge`` (async mode, generic run loop only)
+    evaluates the merged server state every K merge *events* — the
+    accuracy-vs-server-version staleness curves — recorded in
+    ``experiment.merge_evals`` and journalled as ``merge_eval`` events;
+    it is semantic (it changes the journal and the merge-eval record).
+
     ``threat_plan`` injects seeded Byzantine clients (label-flip /
     backdoor data poisoning, sign-flip / Gaussian / model-replacement
     update poisoning — see :class:`repro.flsim.threats.ThreatPlan`);
@@ -175,6 +189,9 @@ class FLConfig:
     split_autoattack: bool = False
     journal_path: Optional[str] = None
     checkpoint_every: int = 0
+    metrics_path: Optional[str] = None
+    status_port: Optional[int] = None
+    eval_every_merge: int = 0
     fault_plan: Optional[FaultPlan] = None
     client_timeout: Optional[float] = None
     max_client_retries: int = 2
@@ -239,6 +256,15 @@ class FLConfig:
             raise ValueError(
                 "checkpoint_every requires journal_path (checkpoints live "
                 "next to the journal and resume() finds them through it)"
+            )
+        if self.status_port is not None and not (0 <= self.status_port <= 65535):
+            raise ValueError("status_port must be in [0, 65535] (0 = ephemeral)")
+        if self.eval_every_merge < 0:
+            raise ValueError("eval_every_merge must be >= 0 (0 = off)")
+        if self.eval_every_merge and self.aggregation_mode != "async":
+            raise ValueError(
+                "eval_every_merge requires aggregation_mode='async' (sync "
+                "rounds have exactly one merge point; use eval_every)"
             )
         if isinstance(self.fault_plan, dict):
             self.fault_plan = FaultPlan(**self.fault_plan)
@@ -332,6 +358,25 @@ class AsyncMergeEvent:
     alpha: float
     base_version: int = 0
     sim_time_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class MergeEvalRecord:
+    """Accuracy of the merged server state at one server version.
+
+    ``eval_every_merge`` samples the accuracy-vs-version staleness curve:
+    ``version`` is the server's merge-event count *after* the triggering
+    merge applied, ``round``/``event``/``staleness``/``sim_time_s``
+    mirror that merge's :class:`AsyncMergeEvent`.  Like every async
+    artefact, records compare equal across backends and worker counts.
+    """
+
+    version: int
+    round: int
+    event: int
+    staleness: int
+    sim_time_s: float
+    eval: EvalResult
 
 
 @dataclass
@@ -443,6 +488,12 @@ class FederatedExperiment(ABC):
                 f"(set checkpoint_every=0; journalling and fault injection "
                 f"still work)"
             )
+        if config.eval_every_merge and type(self).run is not FederatedExperiment.run:
+            raise ValueError(
+                f"{type(self).__name__} overrides run() with a custom loop; "
+                f"eval_every_merge hooks the generic cross-round pipeline's "
+                f"merge events only (set eval_every_merge=0)"
+            )
         self.executor = RoundExecutor(
             config.executor_backend,
             config.round_parallelism,
@@ -465,6 +516,8 @@ class FederatedExperiment(ABC):
         self._published = None  # latest PublishedWeights (double buffer)
         #: Applied merge events of every asynchronous round, in merge order.
         self.async_log: List[AsyncMergeEvent] = []
+        #: Merge-event-granularity eval samples (``eval_every_merge``).
+        self.merge_evals: List[MergeEvalRecord] = []
         self._last_pipeline_stats: Optional[Dict[str, int]] = None
         # Fault-tolerance state: the open journal, the current round's fault
         # verdict, and the resume cursor installed by resume().
@@ -484,6 +537,18 @@ class FederatedExperiment(ABC):
                 f"through the robust-aggregation hooks; "
                 f"aggregation_rule={config.aggregation_rule!r} would be "
                 f"silently ignored (use 'fedavg')"
+            )
+        # Streaming observability: every _jlog event tees into the metrics
+        # service (live JSONL + status endpoint).  Created at init so the
+        # endpoint is reachable (state "init") before run() starts.
+        self._metrics = None
+        if config.metrics_path or config.status_port is not None:
+            from repro.flsim.service import MetricsService
+
+            self._metrics = MetricsService(
+                metrics_path=config.metrics_path,
+                status_port=config.status_port,
+                parallelism=self.describe_parallelism(),
             )
 
     # -- executor workspaces -------------------------------------------------
@@ -981,6 +1046,40 @@ class FederatedExperiment(ABC):
         """Install the fully merged server state into the global model."""
         self.global_model.load_state_dict(server)
 
+    def _merge_eval(self, server: Dict[str, np.ndarray], event: AsyncMergeEvent,
+                    version: int) -> None:
+        """Evaluate the merged server state at merge-event granularity.
+
+        Runs on the main thread between merges (merges replay serially),
+        loading ``server`` into the global model — safe mid-run because
+        async work units train on the disjoint ``_async_models``
+        workspaces and overlapped eval reads published snapshots.  Eval
+        RNG streams are plan-derived (never ``self.rng``), so sampling
+        the curve cannot perturb training results.
+        """
+        self.global_model.load_state_dict(server)
+        result = self.evaluate()
+        record = MergeEvalRecord(
+            version=version,
+            round=event.round,
+            event=event.event,
+            staleness=event.staleness,
+            sim_time_s=event.sim_time_s,
+            eval=result,
+        )
+        self.merge_evals.append(record)
+        self._jlog(
+            "merge_eval",
+            version=version,
+            round=event.round,
+            event=event.event,
+            staleness=event.staleness,
+            sim_time_s=event.sim_time_s,
+            clean_acc=result.clean_acc,
+            pgd_acc=result.pgd_acc,
+            aa_acc=result.aa_acc,
+        )
+
     def _run_async(
         self, rounds: int, verbose: bool = False
     ) -> List[RoundRecord]:
@@ -1061,6 +1160,15 @@ class FederatedExperiment(ABC):
             if agg_stats:
                 payload["agg"] = agg_stats
             self._jlog("merge", **payload)
+            if cfg.eval_every_merge:
+                # Server version after this merge applied: merges replay
+                # on the main thread in simulated-arrival order, so the
+                # merge log's length *is* the version counter.
+                version = len(self.async_log)
+                if version % cfg.eval_every_merge == 0:
+                    self._merge_eval(server, event, version)
+            if self._metrics is not None:
+                self._metrics.update_pipeline(pipeline.stats())
 
         def round_complete(ticket):
             t = ticket.round_idx
@@ -1098,6 +1206,8 @@ class FederatedExperiment(ABC):
                 access_s=record.access_s,
                 aborted=False,
             )
+            if self._metrics is not None:
+                self._metrics.update_pipeline(pipeline.stats())
 
         pipeline = CrossRoundPipeline(
             self.scheduler,
@@ -1395,6 +1505,8 @@ class FederatedExperiment(ABC):
         if self._journal is not None:
             self._journal.close()
             self._journal = None
+        if self._metrics is not None:
+            self._metrics.close()
 
     def __enter__(self) -> "FederatedExperiment":
         return self
@@ -1404,9 +1516,21 @@ class FederatedExperiment(ABC):
 
     # -- journalling, checkpointing, resume ------------------------------------
     def _jlog(self, kind: str, **payload) -> None:
-        """Append one journal event (no-op when journalling is off)."""
+        """Log one run event: journal append + metrics-service tee.
+
+        The journal may be off while the metrics service is on (and vice
+        versa); both sinks see identical payloads, all emitted from the
+        main run thread in deterministic program order.
+        """
         if self._journal is not None:
             self._journal.append(kind, **payload)
+        if self._metrics is not None:
+            self._metrics.observe(kind, payload)
+
+    @property
+    def status_address(self) -> Optional[str]:
+        """The live status endpoint's base URL (None when off)."""
+        return self._metrics.address if self._metrics is not None else None
 
     def _journal_eval(self, record: RoundRecord) -> None:
         if record.eval is not None:
@@ -1423,14 +1547,10 @@ class FederatedExperiment(ABC):
 
         return config_fingerprint(self.config, self.name)
 
-    def _open_journal(self) -> None:
-        """Start a fresh journal for this run (if configured, once)."""
-        if self.config.journal_path is None or self._journal is not None:
-            return
-        self._journal = RunJournal.create(self.config.journal_path)
+    def _run_start_payload(self) -> Dict[str, Any]:
+        """The ``run_start`` event body (shared by journal and replay)."""
         pop = self.clients
-        self._jlog(
-            "run_start",
+        return dict(
             fingerprint=self._fingerprint(),
             experiment=self.name,
             rounds=self.config.rounds,
@@ -1441,6 +1561,17 @@ class FederatedExperiment(ABC):
             materialisation=pop.materialisation,
             cache_capacity=pop.cache_capacity,
         )
+
+    def _open_journal(self) -> None:
+        """Start a fresh journal for this run (if configured, once)."""
+        if self.config.journal_path is None or self._journal is not None:
+            # Journal off (or a replay verifier pre-installed): the
+            # metrics service still wants its run_start marker.
+            if self._metrics is not None and self.config.journal_path is None:
+                self._metrics.observe("run_start", self._run_start_payload())
+            return
+        self._journal = RunJournal.create(self.config.journal_path)
+        self._jlog("run_start", **self._run_start_payload())
 
     def _abort_cleanup(self) -> None:
         """Best-effort teardown when the run loop raises.
@@ -1463,6 +1594,11 @@ class FederatedExperiment(ABC):
         except Exception:  # pragma: no cover - teardown best effort
             pass
         self._journal = None
+        if self._metrics is not None:
+            try:
+                self._metrics.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
 
     def _checkpoint_path(self) -> str:
         base = (
@@ -1496,6 +1632,7 @@ class FederatedExperiment(ABC):
             "total_access_s": self.total_access_s,
             "history": list(self.history),
             "async_log": list(self.async_log),
+            "merge_evals": list(self.merge_evals),
             "global_state": (
                 {k: v.copy() for k, v in self.global_model.state_dict().items()}
                 if async_state is None
@@ -1516,6 +1653,9 @@ class FederatedExperiment(ABC):
         self.total_access_s = payload["total_access_s"]
         self.history[:] = payload["history"]
         self.async_log[:] = payload["async_log"]
+        # Additive field: checkpoints written before merge-eval existed
+        # restore to an empty curve.
+        self.merge_evals[:] = payload.get("merge_evals", [])
         if payload["async"] is None:
             self.global_model.load_state_dict(payload["global_state"])
         else:

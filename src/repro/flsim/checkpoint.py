@@ -39,12 +39,15 @@ CHECKPOINT_FORMAT = 1
 
 #: Config fields that cannot affect results (the bit-identity contract):
 #: execution backends/worker counts, eval overlap, the journal /
-#: checkpoint plumbing itself, and the client-population materialisation
+#: checkpoint plumbing itself, the streaming-metrics surface (a pure
+#: observer of journal events), and the client-population materialisation
 #: knobs (lazy vs eager and the LRU capacity are pure caching — every
 #: client is a deterministic function of the population seed).
 #: Everything else is semantic and fingerprinted; note
 #: ``population_scheme`` *is* semantic (partition and virtual shards
-#: differ), so a resume may change cache size but not scheme.
+#: differ), so a resume may change cache size but not scheme, and
+#: ``eval_every_merge`` is semantic too (it changes what the run records
+#: and journals, so a replay must use the original's value).
 NONSEMANTIC_FIELDS = frozenset(
     {
         "journal_path",
@@ -56,6 +59,8 @@ NONSEMANTIC_FIELDS = frozenset(
         "overlap_eval",
         "client_materialisation",
         "client_cache_size",
+        "metrics_path",
+        "status_port",
     }
 )
 

@@ -123,6 +123,29 @@ class RunHistory(List[RoundRecord]):
             return cls.from_jsonl(f.read())
 
 
+def merge_eval_rows(merge_evals: Sequence) -> List[dict]:
+    """Flatten ``experiment.merge_evals`` into accuracy-vs-version rows.
+
+    One dict per :class:`~repro.flsim.base.MergeEvalRecord` — the
+    staleness-curve artefact (``eval_every_merge``): accuracy of the
+    merged server state keyed by server version, annotated with the
+    triggering merge's round / staleness / simulated time.
+    """
+    return [
+        {
+            "version": rec.version,
+            "round": rec.round,
+            "event": rec.event,
+            "staleness": rec.staleness,
+            "sim_time_s": rec.sim_time_s,
+            "clean_acc": rec.eval.clean_acc if rec.eval else None,
+            "pgd_acc": rec.eval.pgd_acc if rec.eval else None,
+            "aa_acc": rec.eval.aa_acc if rec.eval else None,
+        }
+        for rec in merge_evals
+    ]
+
+
 def export_csv(history: Sequence[RoundRecord], path: str) -> None:
     """Write the history as a CSV with one row per round."""
     directory = os.path.dirname(os.path.abspath(path))

@@ -24,6 +24,8 @@ faults      ``round``, ``sampled``, ``dropped``, ``retries``, ``aborted``
 threats     ``round``, ``attack``, ``byzantine`` (cids marked this round)
 dispatch    async: ``round``, ``base_version``, ``dispatch_time``, ``cids``
 merge       async: mirrors one ``AsyncMergeEvent`` (+``agg`` rule stats)
+merge_eval  async: merged-server accuracy at a server ``version``
+            (``eval_every_merge`` — the staleness-curve sample points)
 agg         ``round``, ``events`` (robust-rule rejection/clipping stats)
 agg_abort   ``round``, ``error`` (an ``AggregationError`` ended the round)
 round       ``round``, ``sim_time_s`` (+cumulative costs, ``aborted``)
@@ -43,6 +45,31 @@ from typing import List, Optional
 
 class JournalError(RuntimeError):
     """A journal could not be read, or does not match the experiment."""
+
+
+#: The closed set of event kinds the run loops emit.  The writer refuses
+#: unknown kinds (a typo would silently corrupt the replay contract) and
+#: the reader refuses files containing them (they are not run journals —
+#: or they were written by a newer schema this reader cannot replay).
+KNOWN_KINDS = frozenset(
+    {
+        "run_start",
+        "sample",
+        "faults",
+        "threats",
+        "dispatch",
+        "merge",
+        "merge_eval",
+        "agg",
+        "agg_abort",
+        "round",
+        "eval",
+        "checkpoint",
+        "resume",
+        "run_end",
+        "run_abort",
+    }
+)
 
 
 class RunJournal:
@@ -74,6 +101,11 @@ class RunJournal:
 
     def append(self, kind: str, **payload) -> None:
         """Write one event and flush it to the OS (crash-tolerant)."""
+        if kind not in KNOWN_KINDS:
+            raise ValueError(
+                f"unknown journal event kind {kind!r} "
+                f"(known: {sorted(KNOWN_KINDS)})"
+            )
         record = {"seq": self._seq, "kind": kind}
         record.update(payload)
         self._file.write(json.dumps(record) + "\n")
@@ -96,7 +128,8 @@ class RunJournal:
         corruption a JSON parse alone cannot see — e.g. a torn *middle*
         page after a crashed overwrite) raises :class:`JournalError`
         naming the expected and found seq, and resume refuses cleanly
-        instead of continuing from a hole.
+        instead of continuing from a hole.  An event whose ``kind`` is
+        not in :data:`KNOWN_KINDS` likewise raises, naming the line.
         """
         events: List[dict] = []
         with open(path, encoding="utf-8") as f:
@@ -119,6 +152,12 @@ class RunJournal:
                 raise JournalError(
                     f"{path}: journal line {i + 1} has seq {got!r}, "
                     f"expected {expected} (mid-file corruption?)"
+                )
+            kind = event.get("kind")
+            if kind not in KNOWN_KINDS:
+                raise JournalError(
+                    f"{path}: journal line {i + 1} (seq {expected}) has "
+                    f"unknown event kind {kind!r}"
                 )
             events.append(event)
         return events

@@ -523,6 +523,20 @@ class CrossRoundPipeline:
         """Rounds dispatched but not yet fully merged."""
         return len(self._inflight)
 
+    def stats(self) -> Dict[str, int]:
+        """Live pipeline counters (the status endpoint's async panel).
+
+        Pure bookkeeping reads — safe to sample between merges — and
+        derived from the simulated schedule, so identical across
+        backends at any worker count.
+        """
+        return {
+            "version": self.version,
+            "in_flight": self.in_flight,
+            "peak_in_flight": self.peak_in_flight,
+            "rounds_dispatched": self._dispatched,
+        }
+
     def dispatch(
         self,
         round_idx: int,

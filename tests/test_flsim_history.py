@@ -113,3 +113,77 @@ class TestBestRound:
 
     def test_empty(self):
         assert best_round([], "pgd_acc") is None
+
+
+class TestAbortedRoundHistory:
+    """History round-trips for runs the fault plan actually degraded."""
+
+    @staticmethod
+    def _run(**overrides):
+        from repro.baselines import JointFAT
+        from repro.data import make_cifar10_like
+        from repro.flsim import FaultPlan, FLConfig
+        from repro.hardware import DeviceSampler, device_pool
+        from repro.models import build_cnn
+
+        task = make_cifar10_like(
+            image_size=8, train_per_class=20, test_per_class=10, seed=0
+        )
+        cfg = FLConfig(
+            num_clients=5, clients_per_round=3, local_iters=2, batch_size=8,
+            lr=0.02, rounds=4, train_pgd_steps=2, eval_pgd_steps=2,
+            eval_every=0, eval_max_samples=24, seed=0,
+            fault_plan=FaultPlan(seed=0, dropout_prob=0.6),
+            min_clients_per_round=2,
+            **overrides,
+        )
+        builder = lambda rng: build_cnn(3, 10, (3, 8, 8), base_channels=4, rng=rng)
+        sampler = DeviceSampler(device_pool("cifar10"), "unbalanced")
+        return JointFAT(task, builder, cfg, device_sampler=sampler)
+
+    def test_aborted_rounds_survive_save_load(self, tmp_path):
+        exp = self._run()
+        exp.run()
+        exp.close()
+        history = RunHistory(exp.history)
+        aborted = [r.round for r in history if r.aborted]
+        assert aborted, "fault plan produced no aborted round; weaken the test config"
+        path = str(tmp_path / "history.jsonl")
+        history.save(path)
+        restored = RunHistory.load(path)
+        assert restored == history
+        assert [r.round for r in restored if r.aborted] == aborted
+
+    def test_sim_time_monotone_through_aborts(self):
+        exp = self._run()
+        exp.run()
+        exp.close()
+        times = [r.sim_time_s for r in exp.history]
+        assert times == sorted(times)
+        # An aborted round never rolls the clock back; with no
+        # client_timeout configured the server waits zero seconds, so the
+        # clock may stand still but must not regress.
+        by_round = {r.round: r for r in exp.history}
+        for r in exp.history:
+            if r.aborted and r.round > 0:
+                assert r.sim_time_s >= by_round[r.round - 1].sim_time_s
+
+    def test_sim_time_monotone_across_checkpoint_resume(self, tmp_path):
+        ref = self._run()
+        ref.run()
+        ref.close()
+
+        path = str(tmp_path / "run.jsonl")
+        interrupted = self._run(journal_path=path, checkpoint_every=2)
+        interrupted.run(rounds=2)
+        interrupted.close()
+        resumed = self._run(journal_path=path, checkpoint_every=2)
+        resumed.resume(path)
+        resumed.close()
+
+        assert RunHistory(resumed.history) == RunHistory(ref.history)
+        times = [r.sim_time_s for r in resumed.history]
+        assert times == sorted(times)
+        assert [r.aborted for r in resumed.history] == [
+            r.aborted for r in ref.history
+        ]

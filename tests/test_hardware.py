@@ -213,3 +213,61 @@ class TestLatency:
         lm = LatencyModel()
         with pytest.raises(ValueError):
             lm.local_training_cost(self._state(), 1e9, 1e9, iterations=-1, pgd_steps=0)
+
+
+class TestDeviceStreams:
+    """Counter-derived per-client streams: pure, persistent, disjoint."""
+
+    @staticmethod
+    def _sampler():
+        return DeviceSampler(DEVICE_POOL_CIFAR10, "unbalanced")
+
+    def test_profile_for_is_pure(self):
+        a, b = self._sampler(), self._sampler()
+        for cid in range(8):
+            assert a.profile_for(0, cid) == b.profile_for(0, cid)
+            assert a.profile_for(0, cid) == a.profile_for(0, cid)
+
+    def test_profile_persists_across_rounds(self):
+        s = self._sampler()
+        for cid in range(6):
+            device = s.profile_for(3, cid)
+            for round_idx in range(5):
+                assert s.state_for(3, round_idx, cid).device == device
+
+    def test_state_varies_by_round_but_not_identity(self):
+        s = self._sampler()
+        states = [s.state_for(0, r, 2) for r in range(6)]
+        assert len({st.avail_perf_flops for st in states}) > 1
+        assert len({st.device for st in states}) == 1
+
+    def test_state_factors_respect_floors_and_ranges(self):
+        s = self._sampler()
+        for r in range(4):
+            for cid in range(4):
+                st = s.state_for(1, r, cid)
+                assert 0 < st.avail_mem_bytes <= st.device.mem_bytes
+                assert 0 < st.avail_perf_flops <= st.device.perf_flops
+
+    def test_streams_disjoint_from_sequential_sampling(self):
+        """Interleaved sequential sample() draws never perturb the
+        counter-derived streams (they share no RNG state)."""
+        s = self._sampler()
+        before = [(s.profile_for(0, c), s.state_for(0, 1, c)) for c in range(5)]
+        s.sample_many(10, np.random.default_rng(123))
+        after = [(s.profile_for(0, c), s.state_for(0, 1, c)) for c in range(5)]
+        assert before == after
+
+    def test_profile_and_state_streams_disjoint(self):
+        """The 3-element profile seed and 4-element state seed cannot
+        collide: a client's persistent identity is independent of every
+        per-round degradation draw that shares its (seed, cid) prefix."""
+        s = self._sampler()
+        for cid in range(6):
+            device = s.profile_for(0, cid)
+            # Feeding round indices that mimic another client's cid must
+            # neither change the identity nor correlate the factors.
+            states = [s.state_for(0, other, cid) for other in range(6)]
+            assert all(st.device == device for st in states)
+        seeds = {(s.profile_for(seed, 0).name, seed) for seed in range(4)}
+        assert len(seeds) == 4  # distinct seeds resolve independently
